@@ -1,0 +1,138 @@
+"""Figure 10: goodput-based vs throughput-based cloud auto-scaling.
+
+A single large ImageNet job trains in a simulated cloud.  The Or-et-al
+throughput-based policy scales out immediately to a large constant cluster;
+Pollux ramps the cluster up as statistical efficiency improves, finishing
+slightly later at substantially lower cost (paper: 25 % cheaper, 6 % longer).
+
+The ImageNet epoch count is scaled down (benchmark runtime), which preserves
+the GNS trajectory shape and therefore the scaling dynamics.
+
+Run:  pytest benchmarks/bench_fig10_autoscaling.py --benchmark-only -s
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.cluster import ClusterSpec
+from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
+from repro.schedulers import (
+    OrElasticAutoscaler,
+    OrElasticScheduler,
+    PolluxAutoscalerHook,
+    PolluxScheduler,
+)
+from repro.sim import SimConfig, Simulator
+from repro.workload import MODEL_ZOO, JobSpec
+
+from .common import SCALE, print_header
+
+EPOCHS = 9.0 if SCALE.name == "reduced" else 90.0
+MAX_NODES = 16
+
+
+def _job() -> JobSpec:
+    profile = dataclasses.replace(
+        MODEL_ZOO["resnet50-imagenet"], target_epochs=EPOCHS
+    )
+    return JobSpec(
+        name="imagenet",
+        model=profile,
+        submission_time=0.0,
+        fixed_num_gpus=16,
+        fixed_batch_size=profile.init_batch_size,
+    )
+
+
+def run_fig10():
+    config = SimConfig(
+        seed=0,
+        max_hours=500,
+        tick_seconds=60.0,
+        scheduling_interval=120.0,
+        agent_interval=60.0,
+    )
+    results = {}
+    cluster = ClusterSpec.homogeneous(1, 4)
+    pollux = PolluxScheduler(
+        cluster,
+        PolluxSchedConfig(
+            ga=GAConfig(
+                population_size=SCALE.ga_population,
+                generations=SCALE.ga_generations,
+            )
+        ),
+    )
+    results["pollux"] = Simulator(
+        cluster,
+        pollux,
+        [_job()],
+        config,
+        autoscaler=PolluxAutoscalerHook(
+            AutoscaleConfig(
+                min_nodes=1,
+                max_nodes=MAX_NODES,
+                low_util_thres=0.45,
+                high_util_thres=0.75,
+            ),
+            interval=600.0,
+        ),
+    ).run()
+    results["or-etal"] = Simulator(
+        ClusterSpec.homogeneous(1, 4),
+        OrElasticScheduler(),
+        [_job()],
+        config,
+        autoscaler=OrElasticAutoscaler(
+            min_nodes=1, max_nodes=MAX_NODES, interval=1200.0
+        ),
+    ).run()
+    return results
+
+
+def test_fig10_autoscaling(benchmark):
+    results = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    print_header("Fig. 10: cloud auto-scaling, single ImageNet job")
+    for policy, result in results.items():
+        jct = result.records[0].jct / 3600.0
+        print(
+            f"{policy:<10s} completion {jct:7.2f} h   "
+            f"cost {result.node_hours():8.1f} node-hours"
+        )
+        samples = result.timeline[:: max(1, len(result.timeline) // 12)]
+        print(
+            "  nodes:      "
+            + " ".join(f"{s.num_nodes:2d}" for s in samples)
+        )
+        print(
+            "  efficiency: "
+            + " ".join(f"{s.mean_efficiency:.2f}" for s in samples)
+        )
+
+    pollux, oretal = results["pollux"], results["or-etal"]
+    saving = 1.0 - pollux.node_hours() / oretal.node_hours()
+    slowdown = pollux.records[0].jct / oretal.records[0].jct - 1.0
+    print(
+        f"\nPollux: {saving * 100:.0f}% cheaper, {slowdown * 100:.0f}% longer "
+        f"(paper: 25% cheaper, 6% longer)"
+    )
+
+    # Fig. 10a shape: Pollux's node count ramps up over the job's lifetime;
+    # Or et al. reaches its maximum early and holds it.
+    ptl = results["pollux"].timeline
+    third = len(ptl) // 3
+    assert np.mean([t.num_nodes for t in ptl[-third:]]) > np.mean(
+        [t.num_nodes for t in ptl[:third]]
+    )
+    otl = results["or-etal"].timeline
+    nodes = [t.num_nodes for t in otl]
+    assert nodes.index(max(nodes)) < len(nodes) * 0.33
+    # Headline: Pollux is substantially cheaper; the time penalty is
+    # bounded.  (Our synthetic GNS trajectory sits lower early in training
+    # than the paper's measurements, so the cost/time trade-off is steeper:
+    # ~50-60% cheaper at ~30-60% longer vs the paper's 25%/6%.)
+    assert pollux.node_hours() < 0.7 * oretal.node_hours()
+    assert slowdown < 1.0
+    # Fig. 10b: Pollux maintains higher average statistical efficiency.
+    assert pollux.avg_efficiency() > oretal.avg_efficiency()

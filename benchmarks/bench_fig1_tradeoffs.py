@@ -1,0 +1,86 @@
+"""Figure 1: batch size / resource scalability / training-stage trade-offs.
+
+Fig. 1a — system throughput vs number of GPUs for a small and a large batch
+size (ResNet18 on CIFAR-10): the larger batch size scales much further.
+
+Fig. 1b — the goodput-optimal batch size vs number of GPUs, in the first
+half vs the second half of training: more GPUs and later training stages
+both favor larger batch sizes.
+
+Run:  pytest benchmarks/bench_fig1_tradeoffs.py --benchmark-only -s
+"""
+
+import numpy as np
+
+from repro.core import EfficiencyModel, GoodputModel
+from repro.workload import MODEL_ZOO
+
+from .common import print_header
+
+GPU_COUNTS = (1, 2, 4, 8, 12, 16)
+
+
+def _placement(num_gpus):
+    return (1, num_gpus) if num_gpus <= 4 else (int(np.ceil(num_gpus / 4)), num_gpus)
+
+
+def fig1a_rows():
+    profile = MODEL_ZOO["resnet18-cifar10"]
+    truth = profile.throughput_true
+    rows = []
+    for batch_size in (512, 2048):
+        series = []
+        for num_gpus in GPU_COUNTS:
+            nodes, gpus = _placement(num_gpus)
+            if batch_size / gpus < 1:
+                continue
+            series.append(
+                (num_gpus, float(truth.throughput(nodes, gpus, batch_size)))
+            )
+        rows.append((batch_size, series))
+    return rows
+
+
+def fig1b_rows():
+    profile = MODEL_ZOO["resnet18-cifar10"]
+    rows = []
+    for label, progress in (("first half", 0.25), ("second half", 0.75)):
+        phi = profile.gns.phi(progress)
+        model = GoodputModel(
+            profile.theta_true,
+            EfficiencyModel(float(profile.init_batch_size), phi),
+            profile.limits,
+        )
+        series = []
+        for num_gpus in (2, 4, 8, 16):
+            nodes, gpus = _placement(num_gpus)
+            m_star, _ = model.optimize_batch_size(nodes, gpus)
+            series.append((num_gpus, m_star))
+        rows.append((label, series))
+    return rows
+
+
+def test_fig1a_throughput_vs_gpus(benchmark):
+    rows = benchmark.pedantic(fig1a_rows, rounds=1, iterations=1)
+    print_header("Fig. 1a: throughput vs #GPUs (ResNet18/CIFAR-10)")
+    for batch_size, series in rows:
+        line = "  ".join(f"K={k:2d}:{tput:7.0f}" for k, tput in series)
+        print(f"bs={batch_size:5d}  {line} img/s")
+    # Shape check: the large batch must scale strictly further.
+    small = dict(rows[0][1])
+    large = dict(rows[1][1])
+    assert large[16] / large[1] > small[16] / small[1]
+
+
+def test_fig1b_best_batch_size(benchmark):
+    rows = benchmark.pedantic(fig1b_rows, rounds=1, iterations=1)
+    print_header("Fig. 1b: goodput-optimal batch size vs #GPUs")
+    for label, series in rows:
+        line = "  ".join(f"K={k:2d}:{m:6.0f}" for k, m in series)
+        print(f"{label:12s}  {line}")
+    first = dict(rows[0][1])
+    second = dict(rows[1][1])
+    # More GPUs -> larger best batch; later training -> larger best batch.
+    assert first[16] > first[2]
+    for k in (2, 4, 8, 16):
+        assert second[k] >= first[k]

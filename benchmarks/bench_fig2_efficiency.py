@@ -1,0 +1,84 @@
+"""Figure 2: statistical efficiency for ImageNet training.
+
+Fig. 2a — EFFICIENCY_t over training progress for a small (800) and a large
+(8000) batch size: the large batch starts far less efficient, the gap
+narrows over training, and efficiency jumps at the LR-decay boundaries.
+
+Fig. 2b — predicted efficiency (Eqn. 7, phi measured at one batch size)
+versus the "actual" efficiency of the ground-truth trajectory across a range
+of batch sizes, including the agent's noisy-measurement path.
+
+Run:  pytest benchmarks/bench_fig2_efficiency.py --benchmark-only -s
+"""
+
+import numpy as np
+
+from repro.core import EfficiencyModel, GradientStats
+from repro.workload import MODEL_ZOO
+
+from .common import print_header
+
+
+def fig2a_series():
+    profile = MODEL_ZOO["resnet50-imagenet"]
+    m0 = float(profile.init_batch_size)
+    epochs = np.linspace(0.01, 1.0, 30) * profile.target_epochs
+    out = {}
+    for batch in (800, 8000):
+        values = []
+        for epoch in epochs:
+            phi = profile.gns.phi(epoch / profile.target_epochs)
+            values.append(EfficiencyModel(m0, phi).efficiency(batch))
+        out[batch] = (epochs, np.array(values))
+    return out
+
+
+def fig2b_series(measure_noise=0.1, seed=0):
+    """Predict efficiency from phi measured (noisily) at one batch size."""
+    profile = MODEL_ZOO["resnet50-imagenet"]
+    m0 = float(profile.init_batch_size)
+    progress = 15.0 / profile.target_epochs  # phi measured at epoch 15
+    phi_true = profile.gns.phi(progress)
+
+    # Simulated measurement: smoothed noisy gradient statistics, exactly the
+    # PolluxAgent pipeline.
+    rng = np.random.default_rng(seed)
+    stats = GradientStats(smoothing=0.9)
+    for _ in range(50):
+        stats.update(var=phi_true / m0 * rng.lognormal(sigma=measure_noise), sqr=1.0)
+    phi_measured = stats.noise_scale(m0)
+
+    batches = np.geomspace(500, 20000, 12)
+    actual = EfficiencyModel(m0, phi_true).efficiency(batches)
+    predicted = EfficiencyModel(m0, phi_measured).efficiency(batches)
+    return batches, actual, predicted
+
+
+def test_fig2a_efficiency_over_training(benchmark):
+    series = benchmark.pedantic(fig2a_series, rounds=1, iterations=1)
+    print_header("Fig. 2a: stat. efficiency vs statistical epochs (ImageNet)")
+    for batch, (epochs, values) in series.items():
+        picks = range(0, len(epochs), 5)
+        line = "  ".join(f"e{epochs[i]:5.0f}:{values[i]:.2f}" for i in picks)
+        print(f"bs={batch:5d}  {line}")
+    small = series[800][1]
+    large = series[8000][1]
+    # Large batch is always less efficient, but the gap narrows.
+    assert np.all(large <= small + 1e-12)
+    assert (small[-1] - large[-1]) < (small[0] - large[0])
+    # LR-decay jumps: efficiency of the large batch rises sharply at 1/3.
+    third = len(large) // 3
+    assert large[third + 1] > large[third - 1]
+
+
+def test_fig2b_predicted_vs_actual(benchmark):
+    batches, actual, predicted = benchmark.pedantic(
+        fig2b_series, rounds=1, iterations=1
+    )
+    print_header("Fig. 2b: predicted (Eqn. 7) vs actual efficiency")
+    for m, a, p in zip(batches, actual, predicted):
+        print(f"bs={m:7.0f}  actual={a:.3f}  predicted={p:.3f}")
+    # Close agreement across the full range (paper: "close agreement").
+    rel_err = np.abs(predicted - actual) / actual
+    print(f"max relative error: {rel_err.max() * 100:.1f}%")
+    assert rel_err.max() < 0.15

@@ -1,0 +1,71 @@
+"""Figure 3: the throughput model (Eqn. 8-11) fit to measured values.
+
+Fits theta_sys to noisy observations of ImageNet training throughput, then
+compares model predictions against ground truth while varying (a) the number
+of nodes at a fixed batch size and (b) the batch size at a fixed placement —
+the two panels of Fig. 3.
+
+Run:  pytest benchmarks/bench_fig3_throughput_fit.py --benchmark-only -s
+"""
+
+import numpy as np
+
+from repro.core import ProfileEntry, ThroughputModel, fit_throughput_params
+from repro.workload import MODEL_ZOO
+
+from .common import print_header
+
+
+def fit_and_eval(noise=0.05, seed=0):
+    profile = MODEL_ZOO["resnet50-imagenet"]
+    truth = profile.throughput_true
+    rng = np.random.default_rng(seed)
+
+    observations = []
+    for nodes, gpus in [(1, 1), (1, 2), (1, 4), (2, 8), (3, 12), (4, 16), (6, 24)]:
+        for m in (256, 512, 1024, 2048, 4096):
+            if m > gpus * profile.max_local_bsz:
+                continue
+            t = float(truth.t_iter(nodes, gpus, m)) * rng.lognormal(sigma=noise)
+            observations.append(ProfileEntry(nodes, gpus, m, t))
+    fitted = ThroughputModel(fit_throughput_params(observations, seed=seed))
+
+    # Panel (a): throughput vs nodes at fixed batch size (incl. unseen 8).
+    vs_nodes = []
+    for nodes in (2, 3, 4, 6, 8):
+        gpus = 4 * nodes
+        m = 2048
+        vs_nodes.append(
+            (
+                nodes,
+                float(truth.throughput(nodes, gpus, m)),
+                float(fitted.throughput(nodes, gpus, m)),
+            )
+        )
+    # Panel (b): throughput vs batch size at fixed placement.
+    vs_batch = []
+    for m in (512, 1024, 1536, 2048, 3072, 4096):
+        vs_batch.append(
+            (
+                m,
+                float(truth.throughput(4, 16, m)),
+                float(fitted.throughput(4, 16, m)),
+            )
+        )
+    return vs_nodes, vs_batch
+
+
+def test_fig3_model_fit(benchmark):
+    vs_nodes, vs_batch = benchmark.pedantic(fit_and_eval, rounds=1, iterations=1)
+    print_header("Fig. 3: throughput model fit (ImageNet)")
+    print("panel (a): throughput vs nodes @ bs=2048")
+    for nodes, actual, model in vs_nodes:
+        print(f"  N={nodes:2d}  actual={actual:7.0f}  model={model:7.0f} img/s")
+    print("panel (b): throughput vs batch size @ 4 nodes x 4 GPUs")
+    for m, actual, model in vs_batch:
+        print(f"  bs={m:5d}  actual={actual:7.0f}  model={model:7.0f} img/s")
+
+    # The model must track ground truth closely, including the 8-node
+    # extrapolation beyond the profiled placements.
+    for _, actual, model in vs_nodes + vs_batch:
+        assert abs(model - actual) / actual < 0.2

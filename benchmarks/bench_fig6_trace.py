@@ -1,0 +1,34 @@
+"""Figure 6: the diurnal submission pattern of the synthetic trace.
+
+The paper samples its primary workload from an 8-hour window around the
+Microsoft trace's daily submission peak; submissions during the peak hour
+run at ~3x the rate of the first hour.
+
+Run:  pytest benchmarks/bench_fig6_trace.py --benchmark-only -s
+"""
+
+import numpy as np
+
+from repro.workload import TraceConfig, generate_trace
+
+from .common import print_header
+
+
+def submissions_histogram(num_jobs=4000, seed=0):
+    trace = generate_trace(
+        TraceConfig(num_jobs=num_jobs, duration_hours=8.0, seed=seed)
+    )
+    hours = np.array([int(j.submission_time // 3600) for j in trace])
+    return np.bincount(hours, minlength=8)
+
+
+def test_fig6_submission_pattern(benchmark):
+    counts = benchmark.pedantic(submissions_histogram, rounds=1, iterations=1)
+    print_header("Fig. 6: job submissions per hour")
+    peak = counts.max()
+    for hour, count in enumerate(counts):
+        bar = "#" * int(40 * count / peak)
+        print(f"hour {hour}: {count:5d} {bar}")
+    # Peak in hour 4 (index 3) at ~3x the first hour.
+    assert int(np.argmax(counts)) == 3
+    assert 2.2 <= counts[3] / counts[0] <= 3.8

@@ -1,0 +1,51 @@
+"""Figure 7: average JCT with increasing ratios of user-configured jobs.
+
+The paper replaces ideally-tuned jobs with realistic user configurations
+(GPU counts from the Microsoft trace, batch sizes within 2x of optimal).
+Pollux's performance is *unaffected* (it re-decides both knobs itself),
+while Tiresias degrades steeply (to 3.3x Pollux at 100 %) and
+Optimus+Oracle moderately (to 2.1x).
+
+Run:  pytest benchmarks/bench_fig7_user_configured.py --benchmark-only -s
+"""
+
+from .common import SCALE, print_header, run_all_policies
+
+RATIOS = (0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0)
+POLICIES = ("pollux", "optimus+oracle", "tiresias")
+
+
+def run_fig7():
+    table = {policy: [] for policy in POLICIES}
+    for ratio in RATIOS:
+        avg = {policy: 0.0 for policy in POLICIES}
+        for seed in SCALE.seeds:
+            results = run_all_policies(seed, user_configured_fraction=ratio)
+            for policy in POLICIES:
+                avg[policy] += results[policy].avg_jct() / len(SCALE.seeds)
+        for policy in POLICIES:
+            table[policy].append(avg[policy])
+    return table
+
+
+def test_fig7_user_configured_jobs(benchmark):
+    table = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    print_header("Fig. 7: avg JCT (relative to Pollux) vs user-configured ratio")
+    header = "  ".join(f"{int(r * 100):3d}%" for r in RATIOS)
+    print(f"{'policy':<18s}  {header}")
+    for policy in POLICIES:
+        rel = [
+            table[policy][i] / table["pollux"][i] for i in range(len(RATIOS))
+        ]
+        print(f"{policy:<18s}  " + "  ".join(f"{v:4.2f}" for v in rel))
+
+    pollux = table["pollux"]
+    tiresias = table["tiresias"]
+    optimus = table["optimus+oracle"]
+    # Pollux is (nearly) unaffected by user configuration quality.
+    assert max(pollux) / min(pollux) < 1.25
+    # Baselines degrade as more user-configured jobs are included, and
+    # Tiresias degrades more than Optimus at 100 % (Fig. 7).
+    assert tiresias[-1] > tiresias[0]
+    assert tiresias[-1] / pollux[-1] > optimus[-1] / pollux[-1]
+    assert tiresias[-1] / pollux[-1] > 1.15

@@ -1,0 +1,56 @@
+"""Figure 8: sensitivity to cluster load.
+
+The paper varies the rate of job submissions from 0.5x to 2x.  All policies
+slow down with load, but Pollux degrades the most gracefully (avg JCT x1.8
+at 2x load, vs x2.0 for Optimus+Oracle and x2.6 for Tiresias+TunedJobs).
+
+Load is scaled by compressing the submission window (same jobs, higher
+arrival rate), which keeps the workload composition identical across load
+levels — the cleanest form of the paper's "rate of job submissions" knob.
+
+Run:  pytest benchmarks/bench_fig8_load.py --benchmark-only -s
+"""
+
+from .common import SCALE, print_header, run_all_policies
+
+LOADS = (0.5, 1.0, 1.5, 2.0)
+POLICIES = ("pollux", "optimus+oracle", "tiresias")
+
+
+def run_fig8():
+    table = {policy: [] for policy in POLICIES}
+    for load in LOADS:
+        duration = SCALE.duration_hours / load
+        avg = {policy: 0.0 for policy in POLICIES}
+        for seed in SCALE.seeds:
+            results = run_all_policies(seed, duration_hours=duration)
+            for policy in POLICIES:
+                avg[policy] += results[policy].avg_jct() / len(SCALE.seeds)
+        for policy in POLICIES:
+            table[policy].append(avg[policy] / 3600.0)
+    return table
+
+
+def test_fig8_load_sensitivity(benchmark):
+    table = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    print_header("Fig. 8: avg JCT (hours) vs relative job submission rate")
+    header = "  ".join(f"{load:4.1f}x" for load in LOADS)
+    print(f"{'policy':<18s}  {header}")
+    for policy in POLICIES:
+        print(
+            f"{policy:<18s}  "
+            + "  ".join(f"{v:5.2f}" for v in table[policy])
+        )
+    print("\ndegradation from 0.5x to 2.0x load:")
+    for policy in POLICIES:
+        print(f"  {policy:<18s} {table[policy][-1] / table[policy][0]:4.2f}x")
+
+    # JCT grows with load for every policy, Pollux stays best-or-tied at
+    # high load, and Pollux degrades no worse than Tiresias (Fig. 8).
+    for policy in POLICIES:
+        assert table[policy][-1] > table[policy][0]
+    assert table["pollux"][-1] <= table["optimus+oracle"][-1] * 1.05
+    assert table["pollux"][-1] <= table["tiresias"][-1] * 1.05
+    pollux_deg = table["pollux"][-1] / table["pollux"][0]
+    tiresias_deg = table["tiresias"][-1] / table["tiresias"][0]
+    assert pollux_deg <= tiresias_deg * 1.1

@@ -1,0 +1,59 @@
+"""Figure 9: network interference and the avoidance constraint.
+
+The paper injects artificial slowdowns (0 / 25 / 50 %) for distributed jobs
+sharing a node.  With interference avoidance enabled, JCT is unaffected
+(contention never occurs by construction); with it disabled, JCT rises by up
+to 1.4x at 50 % slowdown.  In the zero-interference ideal, disabling the
+constraint buys only ~2 % — the GA finds good allocations despite it.
+
+Run:  pytest benchmarks/bench_fig9_interference.py --benchmark-only -s
+"""
+
+from .common import SCALE, print_header, run_policy
+
+SLOWDOWNS = (0.0, 0.25, 0.5)
+
+
+def run_fig9():
+    # Interference effects do not need the full job count; a 60%-load trace
+    # keeps the 6-cell sweep affordable.
+    num_jobs = max(8, int(SCALE.num_jobs * 0.6))
+    table = {}
+    for avoidance in (True, False):
+        series = []
+        for slowdown in SLOWDOWNS:
+            avg = 0.0
+            for seed in SCALE.seeds:
+                result = run_policy(
+                    "pollux",
+                    seed,
+                    num_jobs=num_jobs,
+                    interference_slowdown=slowdown,
+                    pollux_kwargs={"forbid_interference": avoidance},
+                )
+                avg += result.avg_jct() / len(SCALE.seeds)
+            series.append(avg)
+        table[avoidance] = series
+    return table
+
+
+def test_fig9_interference_avoidance(benchmark):
+    table = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    enabled = table[True]
+    disabled = table[False]
+    base = enabled[0]
+    print_header("Fig. 9: avg JCT (relative) vs interference slowdown")
+    print(f"{'slowdown':>9s} {'avoidance on':>13s} {'avoidance off':>14s}")
+    for i, slowdown in enumerate(SLOWDOWNS):
+        print(
+            f"{slowdown * 100:8.0f}% {enabled[i] / base:13.2f} "
+            f"{disabled[i] / base:14.2f}"
+        )
+
+    # With avoidance on, heavier interference must not hurt (paper: flat).
+    assert enabled[2] <= enabled[0] * 1.1
+    # With avoidance off, 50 % slowdown must hurt more than it does with
+    # avoidance on.
+    assert disabled[2] > enabled[2] * 1.02
+    # At zero slowdown, the constraint costs little (paper: ~2 %).
+    assert enabled[0] <= disabled[0] * 1.15

@@ -1,0 +1,51 @@
+"""Table 3: impact of the job-weight decay parameter lambda (Eqn. 16).
+
+Jobs are down-weighted once their consumed GPU-time exceeds GPUTIME_THRES;
+lambda controls the decay rate.  The paper finds that increasing lambda
+significantly improves the median JCT (small jobs finish ahead of big
+ones), moderately degrades the 99th-percentile JCT, and leaves the average
+roughly unchanged (Table 3: p50 0.77x at lambda=0.5 and 0.68x at
+lambda=1.0; p99 1.05x and 1.20x; avg 0.95x and 0.98x — all relative to
+lambda=0).
+
+Run:  pytest benchmarks/bench_table3_job_weights.py --benchmark-only -s
+"""
+
+from .common import SCALE, print_header, run_policy
+
+LAMBDAS = (0.0, 0.5, 1.0)
+
+
+def run_table3():
+    rows = {}
+    for lam in LAMBDAS:
+        avg = p50 = p99 = 0.0
+        for seed in SCALE.seeds:
+            result = run_policy(
+                "pollux", seed, pollux_kwargs={"weight_decay": lam}
+            )
+            avg += result.avg_jct() / len(SCALE.seeds)
+            p50 += result.percentile_jct(50) / len(SCALE.seeds)
+            p99 += result.percentile_jct(99) / len(SCALE.seeds)
+        rows[lam] = {"avg": avg, "p50": p50, "p99": p99}
+    return rows
+
+
+def test_table3_job_weight_decay(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    base = rows[0.0]
+    print_header("Table 3: JCT vs job-weight decay lambda (relative to 0)")
+    print(f"{'lambda':>7s} {'avg JCT':>8s} {'p50 JCT':>8s} {'p99 JCT':>8s}")
+    for lam in LAMBDAS:
+        row = rows[lam]
+        print(
+            f"{lam:7.1f} {row['avg'] / base['avg']:8.2f} "
+            f"{row['p50'] / base['p50']:8.2f} {row['p99'] / base['p99']:8.2f}"
+        )
+
+    # Shape: decay prioritizes small jobs -> the median JCT improves, and
+    # the average does not blow up (paper: within ~5 % of lambda=0).
+    assert rows[0.5]["p50"] <= base["p50"] * 1.02
+    assert rows[1.0]["p50"] <= base["p50"] * 1.02
+    assert rows[0.5]["avg"] <= base["avg"] * 1.15
+    assert rows[1.0]["avg"] <= base["avg"] * 1.15

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Goodput-based vs throughput-based cloud auto-scaling (Sec. 5.3.3, Fig. 10).
+
+Trains a single large ImageNet job in a simulated cloud.  Pollux's
+goodput-based autoscaler provisions few nodes early (large batches are
+statistically inefficient at the start) and scales out as the gradient noise
+scale grows; the Or-et-al throughput-based policy scales out immediately and
+holds.  Pollux finishes slightly later but at a substantially lower cost in
+node-hours.
+
+Run:  python examples/cloud_autoscaling.py [--epochs N]
+"""
+
+import argparse
+import dataclasses
+
+from repro.cluster import ClusterSpec
+from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
+from repro.schedulers import (
+    OrElasticAutoscaler,
+    OrElasticScheduler,
+    PolluxAutoscalerHook,
+    PolluxScheduler,
+)
+from repro.sim import SimConfig, Simulator
+from repro.workload import MODEL_ZOO, JobSpec
+
+
+def make_job(epochs: float) -> JobSpec:
+    profile = dataclasses.replace(MODEL_ZOO["resnet50-imagenet"], target_epochs=epochs)
+    return JobSpec(
+        name="imagenet-cloud",
+        model=profile,
+        submission_time=0.0,
+        fixed_num_gpus=16,
+        fixed_batch_size=profile.init_batch_size,
+    )
+
+
+def run_policy(policy: str, job: JobSpec, max_nodes: int):
+    cluster = ClusterSpec.homogeneous(1, 4)  # both policies start small
+    config = SimConfig(
+        seed=0,
+        max_hours=400,
+        scheduling_interval=120.0,
+        tick_seconds=60.0,
+        agent_interval=60.0,
+    )
+    if policy == "pollux":
+        scheduler = PolluxScheduler(
+            cluster,
+            PolluxSchedConfig(ga=GAConfig(population_size=24, generations=10)),
+        )
+        autoscaler = PolluxAutoscalerHook(
+            AutoscaleConfig(
+                min_nodes=1,
+                max_nodes=max_nodes,
+                low_util_thres=0.45,
+                high_util_thres=0.75,
+            ),
+            interval=600.0,
+        )
+    else:
+        scheduler = OrElasticScheduler()
+        autoscaler = OrElasticAutoscaler(
+            min_nodes=1, max_nodes=max_nodes, interval=1200.0
+        )
+    sim = Simulator(cluster, scheduler, [job], config, autoscaler=autoscaler)
+    return sim.run()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--epochs",
+        type=float,
+        default=9.0,
+        help="ImageNet epochs to train (scaled down from 90 for demo runtime)",
+    )
+    parser.add_argument("--max-nodes", type=int, default=16)
+    args = parser.parse_args()
+
+    job = make_job(args.epochs)
+    print(f"training {job.model.name} for {args.epochs} statistical epochs\n")
+
+    results = {}
+    for policy in ("pollux", "or-etal"):
+        result = run_policy(policy, job, args.max_nodes)
+        results[policy] = result
+        jct = result.records[0].jct
+        print(
+            f"{policy:<10s} completion {jct / 3600.0:7.2f} h   "
+            f"cost {result.node_hours():7.1f} node-hours"
+        )
+        # Node-count trajectory, sampled every ~10 % of the run.
+        samples = result.timeline[:: max(1, len(result.timeline) // 10)]
+        trail = "  nodes over time: " + " ".join(
+            f"{s.num_nodes}" for s in samples
+        )
+        print(trail)
+        eff_trail = "  efficiency:      " + " ".join(
+            f"{s.mean_efficiency:.2f}" for s in samples
+        )
+        print(eff_trail + "\n")
+
+    pollux, oretal = results["pollux"], results["or-etal"]
+    cost_saving = 1.0 - pollux.node_hours() / oretal.node_hours()
+    slowdown = pollux.records[0].jct / oretal.records[0].jct - 1.0
+    print(
+        f"Pollux trains {cost_saving * 100.0:.0f}% cheaper with "
+        f"{slowdown * 100.0:.0f}% longer completion time "
+        f"(paper: 25% cheaper, 6% longer)"
+    )
+
+
+if __name__ == "__main__":
+    main()

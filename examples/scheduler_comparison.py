@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Compare Pollux with Tiresias+TunedJobs and Optimus+Oracle (Sec. 5.2/5.3).
+
+Generates a synthetic Philly-like trace, runs it through all three
+scheduling policies on the same simulated cluster, and prints Table-2-style
+rows (average / tail JCT, makespan, average statistical efficiency).
+
+Run:  python examples/scheduler_comparison.py [--jobs N] [--nodes N]
+"""
+
+import argparse
+import time
+
+from repro.cluster import ClusterSpec
+from repro.core import GAConfig, PolluxSchedConfig
+from repro.schedulers import OptimusScheduler, PolluxScheduler, TiresiasScheduler
+from repro.sim import SimConfig, Simulator
+from repro.workload import TraceConfig, generate_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=40, help="number of jobs")
+    parser.add_argument("--nodes", type=int, default=8, help="number of 4-GPU nodes")
+    parser.add_argument("--hours", type=float, default=4.0, help="submission window")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    cluster = ClusterSpec.homogeneous(args.nodes, 4)
+    trace = generate_trace(
+        TraceConfig(
+            num_jobs=args.jobs,
+            duration_hours=args.hours,
+            seed=args.seed,
+            max_gpus=cluster.total_gpus,
+        )
+    )
+    print(
+        f"workload: {args.jobs} jobs over {args.hours} h on "
+        f"{cluster.num_nodes} nodes x 4 GPUs"
+    )
+
+    schedulers = [
+        PolluxScheduler(
+            cluster,
+            PolluxSchedConfig(ga=GAConfig(population_size=32, generations=12)),
+        ),
+        OptimusScheduler(max_gpus_per_job=cluster.total_gpus),
+        TiresiasScheduler(),
+    ]
+
+    results = {}
+    for scheduler in schedulers:
+        start = time.time()
+        sim = Simulator(cluster, scheduler, trace, SimConfig(seed=7, max_hours=100))
+        result = sim.run()
+        results[scheduler.name] = result
+        print(f"{result.format_summary()}   [{time.time() - start:.0f}s wall]")
+
+    pollux_jct = results["pollux"].avg_jct()
+    print("\navg JCT relative to Pollux:")
+    for name, result in results.items():
+        print(f"  {name:<24s} {result.avg_jct() / pollux_jct:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: a from-scratch reproduction of Pollux (OSDI 2021).
+
+Pollux co-adaptively schedules deep-learning clusters by modeling each job's
+*goodput* — system throughput times statistical efficiency — and jointly
+optimizing resource allocations, batch sizes, and learning rates.
+
+Public API overview:
+
+- :mod:`repro.core` — goodput/throughput/efficiency models, AdaScale,
+  PolluxAgent, PolluxSched, the genetic algorithm, cloud auto-scaling.
+- :mod:`repro.cluster` — nodes, cluster specs, allocation matrices.
+- :mod:`repro.workload` — the Table 1 model zoo and trace generation.
+- :mod:`repro.sim` — the discrete-time cluster simulator.
+- :mod:`repro.schedulers` — Pollux + Tiresias / Optimus+Oracle / Or et al.
+- :mod:`repro.training` — numpy data-parallel training substrate with real
+  gradient-noise-scale measurement and AdaScale SGD.
+"""
+
+from . import cluster, core, schedulers, sim, workload
+
+__version__ = "1.0.0"
+
+__all__ = ["cluster", "core", "schedulers", "sim", "workload", "__version__"]

@@ -1,0 +1,22 @@
+"""Cluster substrate: nodes, cluster specifications, allocation matrices."""
+
+from .spec import ClusterSpec, NodeSpec
+from .allocation import (
+    allocation_num_gpus,
+    allocation_num_nodes,
+    canonical_allocation,
+    empty_allocation,
+    pack_allocation,
+    validate_allocation_matrix,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "NodeSpec",
+    "allocation_num_gpus",
+    "allocation_num_nodes",
+    "canonical_allocation",
+    "empty_allocation",
+    "pack_allocation",
+    "validate_allocation_matrix",
+]

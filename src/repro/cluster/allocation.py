@@ -1,0 +1,160 @@
+"""Allocation vectors and matrices (Sec. 3, Sec. 4.2).
+
+An *allocation vector* a for one job has one entry per node: a_n is the
+number of GPUs allocated from node n.  An *allocation matrix* A stacks one
+row per job.  These are plain numpy int arrays; this module collects the
+invariant checks and small helpers shared by the scheduler, the genetic
+algorithm, and the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .spec import ClusterSpec
+
+__all__ = [
+    "empty_allocation",
+    "allocation_num_gpus",
+    "allocation_num_nodes",
+    "canonical_allocation",
+    "pack_allocation",
+    "validate_allocation_matrix",
+    "distributed_job_mask",
+]
+
+
+def empty_allocation(num_nodes: int) -> np.ndarray:
+    """An all-zero allocation vector of length ``num_nodes``."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    return np.zeros(num_nodes, dtype=np.int64)
+
+
+def allocation_num_gpus(alloc: np.ndarray) -> int:
+    """Total GPUs K in an allocation vector (or per-row for a matrix)."""
+    arr = np.asarray(alloc)
+    return int(arr.sum()) if arr.ndim == 1 else arr.sum(axis=-1)
+
+
+def allocation_num_nodes(alloc: np.ndarray) -> int:
+    """Number of occupied nodes N in an allocation vector (or per-row)."""
+    arr = np.asarray(alloc)
+    occupied = arr > 0
+    return int(occupied.sum()) if arr.ndim == 1 else occupied.sum(axis=-1)
+
+
+def canonical_allocation(alloc: np.ndarray) -> tuple:
+    """Hashable canonical form of an allocation vector."""
+    return tuple(int(x) for x in np.asarray(alloc).ravel())
+
+
+def pack_allocation(
+    cluster: ClusterSpec,
+    num_gpus: int,
+    free_gpus: np.ndarray,
+) -> np.ndarray:
+    """Greedy consolidated placement of ``num_gpus`` GPUs.
+
+    Prefers the node that can host the largest share of the request (best-fit
+    consolidation), falling back to spreading across additional nodes.  Used
+    by the baseline schedulers (Tiresias co-locates replicas when possible,
+    Sec. 2.3).
+
+    Args:
+        cluster: The cluster shape.
+        num_gpus: GPUs requested.
+        free_gpus: Per-node free GPU counts (not modified).
+
+    Returns:
+        An allocation vector, or an all-zero vector if the request cannot be
+        satisfied.
+    """
+    if num_gpus < 0:
+        raise ValueError("num_gpus must be >= 0")
+    free = np.asarray(free_gpus, dtype=np.int64).copy()
+    if free.shape != (cluster.num_nodes,):
+        raise ValueError(
+            f"free_gpus has shape {free.shape}, expected ({cluster.num_nodes},)"
+        )
+    alloc = empty_allocation(cluster.num_nodes)
+    if num_gpus == 0:
+        return alloc
+    if int(free.sum()) < num_gpus:
+        return alloc
+
+    remaining = num_gpus
+    # Best-fit: nodes able to host the whole remainder, smallest surplus
+    # first; otherwise take the fullest node and continue.
+    while remaining > 0:
+        fits = np.where(free >= remaining)[0]
+        if len(fits) > 0:
+            node = fits[np.argmin(free[fits])]
+            alloc[node] += remaining
+            free[node] -= remaining
+            remaining = 0
+        else:
+            node = int(np.argmax(free))
+            take = int(free[node])
+            if take == 0:
+                return empty_allocation(cluster.num_nodes)
+            alloc[node] += take
+            free[node] -= take
+            remaining -= take
+    return alloc
+
+
+def distributed_job_mask(matrix: np.ndarray) -> np.ndarray:
+    """Boolean mask of jobs spanning two or more nodes.
+
+    Accepts a (J, N) matrix or a (P, J, N) population; the mask drops the
+    final axis.
+    """
+    arr = np.asarray(matrix)
+    return (arr > 0).sum(axis=-1) >= 2
+
+
+def validate_allocation_matrix(
+    matrix: np.ndarray,
+    cluster: ClusterSpec,
+    forbid_interference: bool = False,
+) -> List[str]:
+    """Check allocation-matrix invariants; return a list of violations.
+
+    Checks: correct shape, non-negative integer entries, per-node capacity,
+    and (optionally) the interference-avoidance constraint that no node is
+    shared by two or more distributed jobs (Sec. 4.2.1).
+    """
+    problems: List[str] = []
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        return [f"expected a 2-D matrix, got ndim={arr.ndim}"]
+    if arr.shape[1] != cluster.num_nodes:
+        problems.append(
+            f"matrix has {arr.shape[1]} node columns, cluster has "
+            f"{cluster.num_nodes}"
+        )
+        return problems
+    if np.any(arr < 0):
+        problems.append("negative GPU counts present")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == np.round(arr)):
+            problems.append("non-integer GPU counts present")
+    caps = cluster.capacities()
+    used = arr.sum(axis=0)
+    over = np.where(used > caps)[0]
+    for node in over:
+        problems.append(
+            f"node {node} over capacity: {int(used[node])} > {int(caps[node])}"
+        )
+    if forbid_interference:
+        dist = distributed_job_mask(arr)
+        sharing = (arr[dist] > 0).sum(axis=0)
+        bad = np.where(sharing >= 2)[0]
+        for node in bad:
+            problems.append(
+                f"node {node} shared by {int(sharing[node])} distributed jobs"
+            )
+    return problems

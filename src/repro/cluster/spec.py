@@ -1,0 +1,78 @@
+"""Static descriptions of nodes and clusters.
+
+The paper's testbed is 16 AWS g4dn.12xlarge nodes with 4 Tesla T4 GPUs each
+(Sec. 5.1); the simulator experiments use the same shape.  Cloud auto-scaling
+(Sec. 4.2.2) grows and shrinks the node count between MIN_NODES and
+MAX_NODES, so :class:`ClusterSpec` supports resizing by constructing a new
+spec with a different node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["NodeSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One physical node."""
+
+    num_gpus: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A fixed-size cluster of GPU nodes."""
+
+    nodes: Tuple[NodeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster must have at least one node")
+
+    @classmethod
+    def homogeneous(cls, num_nodes: int, gpus_per_node: int = 4) -> "ClusterSpec":
+        """Build a cluster of ``num_nodes`` identical nodes."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        return cls(nodes=tuple(NodeSpec(gpus_per_node) for _ in range(num_nodes)))
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of physical nodes."""
+        return len(self.nodes)
+
+    @property
+    def total_gpus(self) -> int:
+        """Total GPU count across all nodes."""
+        return int(sum(n.num_gpus for n in self.nodes))
+
+    @property
+    def max_gpus_per_node(self) -> int:
+        """Largest per-node GPU count (equals all nodes' if homogeneous)."""
+        return max(n.num_gpus for n in self.nodes)
+
+    def capacities(self) -> np.ndarray:
+        """Per-node GPU capacities as an int vector of length num_nodes."""
+        return np.array([n.num_gpus for n in self.nodes], dtype=np.int64)
+
+    def resized(self, num_nodes: int) -> "ClusterSpec":
+        """A copy of this cluster with ``num_nodes`` nodes (cloud scaling).
+
+        Grows by cloning the last node's spec; shrinks by dropping nodes
+        from the end.
+        """
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        nodes: List[NodeSpec] = list(self.nodes[:num_nodes])
+        while len(nodes) < num_nodes:
+            nodes.append(self.nodes[-1])
+        return ClusterSpec(nodes=tuple(nodes))

@@ -1,0 +1,73 @@
+"""Pollux core: goodput modeling, job-level and cluster-wide optimization."""
+
+from .adascale import (
+    AdaScaleState,
+    adascale_gain,
+    adascale_lr,
+    linear_scale_lr,
+    sqrt_scale_lr,
+)
+from .agent import AgentReport, PolluxAgent, optimistic_params
+from .autoscale import AutoscaleConfig, AutoscaleDecision, UtilityAutoscaler
+from .efficiency import EfficiencyModel, GradientStats, efficiency, gradient_noise_scale
+from .genetic import AllocationProblem, GAConfig, GeneticOptimizer, JobGAInfo
+from .goldensection import golden_section_search, golden_section_search_int
+from .goodput import BatchSizeLimits, GoodputModel, batch_size_grid
+from .rackaware import (
+    RackProfileEntry,
+    RackThroughputModel,
+    RackThroughputParams,
+    fit_rack_throughput_params,
+)
+from .sched import PolluxSched, PolluxSchedConfig, SchedJobInfo, job_weight
+from .speedup import best_batch_size_table, build_speedup_table, speedup
+from .throughput import (
+    ExplorationState,
+    ProfileEntry,
+    ThroughputModel,
+    ThroughputParams,
+    fit_throughput_params,
+)
+
+__all__ = [
+    "AdaScaleState",
+    "adascale_gain",
+    "adascale_lr",
+    "linear_scale_lr",
+    "sqrt_scale_lr",
+    "AgentReport",
+    "PolluxAgent",
+    "optimistic_params",
+    "AutoscaleConfig",
+    "AutoscaleDecision",
+    "UtilityAutoscaler",
+    "EfficiencyModel",
+    "GradientStats",
+    "efficiency",
+    "gradient_noise_scale",
+    "AllocationProblem",
+    "GAConfig",
+    "GeneticOptimizer",
+    "JobGAInfo",
+    "golden_section_search",
+    "golden_section_search_int",
+    "BatchSizeLimits",
+    "GoodputModel",
+    "batch_size_grid",
+    "RackProfileEntry",
+    "RackThroughputModel",
+    "RackThroughputParams",
+    "fit_rack_throughput_params",
+    "PolluxSched",
+    "PolluxSchedConfig",
+    "SchedJobInfo",
+    "job_weight",
+    "best_batch_size_table",
+    "build_speedup_table",
+    "speedup",
+    "ExplorationState",
+    "ProfileEntry",
+    "ThroughputModel",
+    "ThroughputParams",
+    "fit_throughput_params",
+]

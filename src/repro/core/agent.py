@@ -1,0 +1,240 @@
+"""PolluxAgent: job-level optimization (Sec. 4.1).
+
+One agent runs with each training job.  It continually measures the job's
+gradient noise scale and system throughput, periodically fits theta_sys to
+the observed (placement, batch size, T_iter) triples, reports
+(theta_sys, phi_t, m0) to PolluxSched, and tunes the job's batch size (and,
+through AdaScale, its learning rate) for the job's *current* allocation by
+maximizing GOODPUT(a, m) over m (Eqn. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .adascale import adascale_gain
+from .efficiency import EfficiencyModel, GradientStats
+from .goodput import BatchSizeLimits, GoodputModel
+from .throughput import (
+    ExplorationState,
+    ProfileEntry,
+    ThroughputParams,
+    fit_throughput_params,
+)
+
+__all__ = ["AgentReport", "PolluxAgent", "optimistic_params"]
+
+
+def optimistic_params(beta_grad: float = 1.0, alpha_grad: float = 0.0) -> ThroughputParams:
+    """Prior-driven optimistic theta_sys: throughput scales perfectly.
+
+    All synchronization parameters are zero (Sec. 4.1 priors), so
+    THROUGHPUT(a, m) = m / (alpha_grad + beta_grad * m / K) grows linearly
+    with K.  Used before a job has produced enough observations to fit.
+    """
+    return ThroughputParams(
+        alpha_grad=alpha_grad,
+        beta_grad=beta_grad,
+        alpha_sync_local=0.0,
+        beta_sync_local=0.0,
+        alpha_sync_node=0.0,
+        beta_sync_node=0.0,
+        gamma=1.0,
+    )
+
+
+@dataclass(frozen=True)
+class AgentReport:
+    """What a PolluxAgent periodically reports to PolluxSched (Sec. 4.3)."""
+
+    throughput_params: ThroughputParams
+    grad_noise_scale: float
+    init_batch_size: float
+    limits: BatchSizeLimits
+    max_gpus_seen: int
+
+    def goodput_model(self) -> GoodputModel:
+        """The GOODPUT function specified by (theta_sys, phi_t, m0)."""
+        return GoodputModel(
+            self.throughput_params,
+            EfficiencyModel(self.init_batch_size, self.grad_noise_scale),
+            self.limits,
+        )
+
+    def exploration_cap(self, hard_cap: int) -> int:
+        """Max GPUs PolluxSched may allocate: 2x lifetime max (Sec. 4.1)."""
+        cap = max(1, 2 * self.max_gpus_seen)
+        return int(min(cap, hard_cap))
+
+
+class PolluxAgent:
+    """Measures, models, and tunes a single training job.
+
+    Args:
+        init_batch_size: The user-provided initial batch size m0.
+        init_lr: The user-provided initial learning rate eta0.
+        limits: Batch-size feasibility constraints for this job.
+        smoothing: EMA smoothing for gradient statistics.
+        profile_noise_key: Seed for the fitting restarts, so that agents of
+            different jobs do not share random state.
+    """
+
+    def __init__(
+        self,
+        init_batch_size: float,
+        init_lr: float,
+        limits: BatchSizeLimits,
+        smoothing: float = 0.95,
+        profile_noise_key: int = 0,
+    ):
+        if limits.init_batch_size != init_batch_size:
+            raise ValueError("limits.init_batch_size must equal init_batch_size")
+        self.init_batch_size = float(init_batch_size)
+        self.init_lr = float(init_lr)
+        self.limits = limits
+        self.grad_stats = GradientStats(smoothing=smoothing)
+        self.exploration = ExplorationState()
+        self._seed = int(profile_noise_key)
+        # Profile: (num_nodes, num_gpus, batch-size bucket) -> running means
+        # of (count, t_iter, batch_size).  Batch sizes are bucketed at ~5%
+        # resolution so that the continuous drift of the tuned batch size
+        # does not create an unbounded number of configurations.
+        self._profile: Dict[Tuple[int, int, int], Tuple[int, float, float]] = {}
+        self._placements_seen: set = set()
+        self._params: Optional[ThroughputParams] = None
+        self._fit_dirty = False
+        self._obs_since_fit = 0
+        #: Re-fit after this many observations even without new configs, to
+        #: absorb measurement noise into the running means.
+        self.refit_every = 50
+        self.max_gpus_seen = 0
+        self.total_iterations = 0
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def record_iteration(
+        self,
+        num_nodes: int,
+        num_gpus: int,
+        batch_size: float,
+        t_iter: float,
+    ) -> None:
+        """Record one observed iteration time for the current configuration."""
+        if num_gpus < 1 or num_nodes < 1:
+            raise ValueError("placement must include at least one GPU on one node")
+        if t_iter <= 0:
+            raise ValueError("t_iter must be positive")
+        self.exploration.observe(num_nodes, num_gpus)
+        self.max_gpus_seen = max(self.max_gpus_seen, num_gpus)
+        self.total_iterations += 1
+        bucket = int(round(np.log(max(batch_size, 1.0)) / np.log(1.05)))
+        key = (num_nodes, num_gpus, bucket)
+        placement = (num_nodes, num_gpus)
+        if placement not in self._placements_seen:
+            # A placement never profiled before is load-bearing for the
+            # exploration priors: refresh the fit immediately.
+            self._placements_seen.add(placement)
+            self._fit_dirty = True
+        count, mean_t, mean_bs = self._profile.get(key, (0, 0.0, 0.0))
+        count += 1
+        mean_t += (t_iter - mean_t) / count
+        mean_bs += (batch_size - mean_bs) / count
+        self._profile[key] = (count, mean_t, mean_bs)
+        self._obs_since_fit += 1
+        if self._obs_since_fit >= self.refit_every:
+            # New batch-size buckets on known placements refine the fit
+            # lazily, amortized over many observations.
+            self._fit_dirty = True
+
+    def record_grad_stats(self, var: float, sqr: float) -> None:
+        """Record one gradient (variance, squared-norm) estimate at m0 scale."""
+        self.grad_stats.update(var, sqr)
+
+    @property
+    def grad_noise_scale(self) -> float:
+        """Current smoothed phi_t (0 until statistics arrive)."""
+        if not self.grad_stats.has_estimate:
+            return 0.0
+        return self.grad_stats.noise_scale(self.init_batch_size)
+
+    # ------------------------------------------------------------------
+    # Model fitting
+    # ------------------------------------------------------------------
+
+    def profile_entries(self) -> Tuple[ProfileEntry, ...]:
+        """The collected profile as immutable entries (mean T_iter each)."""
+        return tuple(
+            ProfileEntry(nodes, gpus, mean_bs, mean_t)
+            for (nodes, gpus, _), (_, mean_t, mean_bs) in sorted(
+                self._profile.items()
+            )
+        )
+
+    def fit(self) -> ThroughputParams:
+        """(Re-)fit theta_sys to the collected profile (Sec. 4.1).
+
+        Applies the prior-driven exploration pins for regimes the job has
+        not yet observed.  Cheap to call repeatedly: re-fits only when new
+        observations arrived since the last fit.
+        """
+        if not self._profile:
+            raise RuntimeError("no profile observations to fit")
+        if self._fit_dirty or self._params is None:
+            # Warm starts need fewer restarts than the initial cold fit.
+            restarts = 4 if self._params is None else 1
+            self._params = fit_throughput_params(
+                self.profile_entries(),
+                exploration=self.exploration,
+                initial=self._params,
+                num_restarts=restarts,
+                seed=self._seed,
+            )
+            self._fit_dirty = False
+            self._obs_since_fit = 0
+        return self._params
+
+    @property
+    def throughput_params(self) -> ThroughputParams:
+        """Latest fitted theta_sys, or the optimistic prior if unfitted."""
+        if self._profile:
+            return self.fit()
+        return optimistic_params()
+
+    # ------------------------------------------------------------------
+    # Reporting and tuning
+    # ------------------------------------------------------------------
+
+    def report(self) -> AgentReport:
+        """Build the periodic report for PolluxSched."""
+        return AgentReport(
+            throughput_params=self.throughput_params,
+            grad_noise_scale=self.grad_noise_scale,
+            init_batch_size=self.init_batch_size,
+            limits=self.limits,
+            max_gpus_seen=self.max_gpus_seen,
+        )
+
+    def goodput_model(self) -> GoodputModel:
+        """GOODPUT function at the job's current training moment."""
+        return self.report().goodput_model()
+
+    def tune_batch_size(self, num_nodes: int, num_gpus: int) -> Tuple[float, float]:
+        """Most efficient batch size for the current allocation (Eqn. 13).
+
+        Returns:
+            Tuple ``(batch_size, learning_rate)`` where the learning rate is
+            the AdaScale-adapted eta0 * r_t for the chosen batch size.
+        """
+        if num_gpus < 1:
+            raise ValueError("job has no GPUs allocated")
+        model = self.goodput_model()
+        m_star, _ = model.optimize_batch_size(num_nodes, num_gpus)
+        lr = self.init_lr * adascale_gain(
+            self.grad_noise_scale, self.init_batch_size, m_star
+        )
+        return m_star, lr

@@ -1,0 +1,172 @@
+"""Statistical efficiency and the gradient noise scale (Sec. 3.1).
+
+The gradient noise scale at iteration t is
+
+    phi_t = m0 * sigma_t^2 / mu_t^2,
+
+where sigma_t^2 = Var[g_hat_t] is the gradient variance and
+mu_t^2 = |E[g_hat_t]|^2 is the squared norm of the expected gradient, both
+measured at the initial batch size m0.  The statistical efficiency of
+training with batch size m >= m0 relative to m0 is then
+
+    EFFICIENCY_t(m) = (phi_t + m0) / (phi_t + m)            (Eqn. 7)
+
+which always lies in (0, 1].  Training with batch size m must process
+1 / EFFICIENCY_t(m) times as many examples to make the same progress as m0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "gradient_noise_scale",
+    "efficiency",
+    "GradientStats",
+    "EfficiencyModel",
+]
+
+
+def gradient_noise_scale(var: float, sqr: float, batch_size: float) -> float:
+    """Compute phi_t = m0 * sigma^2 / mu^2 from gradient statistics.
+
+    Args:
+        var: Gradient variance sigma_t^2, measured at ``batch_size``.
+        sqr: Squared norm of the expected gradient mu_t^2.
+        batch_size: The batch size m0 at which the statistics were measured.
+
+    Returns:
+        The gradient noise scale (clamped to be non-negative).
+
+    Raises:
+        ValueError: If ``sqr`` or ``batch_size`` is not positive or ``var``
+            is negative.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if sqr <= 0:
+        raise ValueError(f"squared gradient norm must be positive, got {sqr}")
+    if var < 0:
+        raise ValueError(f"gradient variance must be non-negative, got {var}")
+    return float(batch_size * var / sqr)
+
+
+def efficiency(grad_noise_scale, init_batch_size: float, batch_size):
+    """EFFICIENCY_t(m) = (phi_t + m0) / (phi_t + m) (Eqn. 7).
+
+    Accepts scalars or numpy arrays for ``grad_noise_scale`` and
+    ``batch_size`` (broadcast together).
+    """
+    phi = np.asarray(grad_noise_scale, dtype=float)
+    m = np.asarray(batch_size, dtype=float)
+    if np.any(phi < 0):
+        raise ValueError("gradient noise scale must be non-negative")
+    if init_batch_size <= 0:
+        raise ValueError("init_batch_size must be positive")
+    result = (phi + init_batch_size) / (phi + m)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+@dataclass
+class GradientStats:
+    """Exponential moving averages of gradient variance and squared norm.
+
+    PolluxAgent reports (theta_sys, phi_t) at a fixed interval (Sec. 4.3);
+    the raw per-iteration estimates of sigma^2 and mu^2 are noisy, so we
+    smooth them with a bias-corrected exponential moving average, matching
+    the smoothing used by AdaScale implementations.
+    """
+
+    smoothing: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.smoothing < 1.0):
+            raise ValueError(f"smoothing must be in [0, 1), got {self.smoothing}")
+        self._var_avg = 0.0
+        self._sqr_avg = 0.0
+        self._weight = 0.0
+
+    def update(self, var: float, sqr: float) -> None:
+        """Fold one (variance, squared-norm) estimate into the averages."""
+        if var < 0:
+            var = 0.0
+        sqr = max(sqr, 0.0)
+        rho = self.smoothing
+        self._var_avg = rho * self._var_avg + (1.0 - rho) * var
+        self._sqr_avg = rho * self._sqr_avg + (1.0 - rho) * sqr
+        self._weight = rho * self._weight + (1.0 - rho)
+
+    @property
+    def has_estimate(self) -> bool:
+        """Whether at least one update has been folded in."""
+        return self._weight > 0.0
+
+    @property
+    def variance(self) -> float:
+        """Bias-corrected smoothed gradient variance sigma_t^2."""
+        if not self.has_estimate:
+            raise RuntimeError("no gradient statistics recorded yet")
+        return self._var_avg / self._weight
+
+    @property
+    def sqr_norm(self) -> float:
+        """Bias-corrected smoothed squared gradient norm mu_t^2."""
+        if not self.has_estimate:
+            raise RuntimeError("no gradient statistics recorded yet")
+        return self._sqr_avg / self._weight
+
+    def noise_scale(self, init_batch_size: float) -> float:
+        """Current phi_t given the initial batch size m0."""
+        sqr = max(self.sqr_norm, 1e-12)
+        return gradient_noise_scale(self.variance, sqr, init_batch_size)
+
+    def reset(self) -> None:
+        """Discard accumulated statistics (e.g. after an LR decay)."""
+        self._var_avg = 0.0
+        self._sqr_avg = 0.0
+        self._weight = 0.0
+
+
+class EfficiencyModel:
+    """Statistical-efficiency predictions for one job at one training moment.
+
+    Captures (m0, phi_t) and exposes EFFICIENCY_t(m) for any m >= m0
+    (Eqn. 7).  Also exposes the AdaScale gain r_t (Eqn. 5), since the two are
+    linked by EFFICIENCY_t(m) = r_t * m0 / m (Appendix A).
+    """
+
+    def __init__(self, init_batch_size: float, grad_noise_scale: float):
+        if init_batch_size <= 0:
+            raise ValueError("init_batch_size must be positive")
+        if grad_noise_scale < 0:
+            raise ValueError("grad_noise_scale must be non-negative")
+        self.init_batch_size = float(init_batch_size)
+        self.grad_noise_scale = float(grad_noise_scale)
+
+    def efficiency(self, batch_size):
+        """EFFICIENCY_t(m) for scalar or array m."""
+        return efficiency(self.grad_noise_scale, self.init_batch_size, batch_size)
+
+    def gain(self, batch_size):
+        """AdaScale gain r_t = (phi/m0 + 1) / (phi/m + 1) (Eqn. 5).
+
+        One iteration at batch size m makes the progress of r_t iterations
+        at batch size m0; equivalently r_t = EFFICIENCY_t(m) * m / m0.
+        """
+        m = np.asarray(batch_size, dtype=float)
+        phi = self.grad_noise_scale
+        m0 = self.init_batch_size
+        result = (phi / m0 + 1.0) / (phi / m + 1.0)
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"EfficiencyModel(m0={self.init_batch_size}, "
+            f"phi={self.grad_noise_scale:.4g})"
+        )

@@ -1,0 +1,338 @@
+"""The genetic algorithm of PolluxSched (Sec. 4.2.1).
+
+Operates on a population of allocation matrices (one row per job, one column
+per node).  Each generation:
+
+1. **Mutation** — every element A_jn is mutated with probability 1/N; a
+   mutated element is set to a uniform random integer in [0, capacity_n].
+2. **Crossover** — parents are picked by tournament selection; offspring rows
+   are randomly mixed from the two parents.
+3. **Repair** — matrices are modified to satisfy (a) per-job GPU caps (the
+   2x-lifetime-max exploration rule of Sec. 4.1), (b) per-node capacity
+   (random elements in over-capacity columns are decremented until the
+   constraint holds), and (c) optionally the interference-avoidance
+   constraint (at most one *distributed* job per node).
+4. **Selection** — parents and offspring compete; the population size is
+   kept constant by discarding the lowest-fitness matrices.
+
+Fitness is the weighted mean of per-job SPEEDUPs (Eqn. 14), with
+RESTART_PENALTY subtracted for each running job whose allocation changes.
+All operators are numpy-vectorized; random decrements use multivariate
+hypergeometric sampling, which is exactly "remove excess GPUs uniformly at
+random one at a time, without replacement".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.spec import ClusterSpec
+
+__all__ = ["GAConfig", "JobGAInfo", "AllocationProblem", "GeneticOptimizer"]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Hyper-parameters of the genetic algorithm.
+
+    The paper runs 100 generations with a population of 100 per 60 s
+    scheduling interval (Sec. 5.1); smaller budgets give the same decisions
+    on small clusters and are used to keep test/benchmark runtimes modest.
+    """
+
+    population_size: int = 100
+    generations: int = 100
+    tournament_size: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be >= 1")
+
+
+@dataclass
+class JobGAInfo:
+    """Per-job inputs to the allocation problem.
+
+    Attributes:
+        speedup_table: Array of shape (max_gpus + 1, 2); column 0 is the
+            speedup when all GPUs are co-located on one node, column 1 when
+            they span two or more nodes (see :mod:`repro.core.speedup`).
+        weight: The job's weight w_j in FITNESS (Eqn. 14/16).
+        max_gpus: Hard cap on total GPUs for this job (Sec. 4.1: at most 2x
+            the lifetime maximum).
+        current_alloc: The job's current allocation vector (length = number
+            of nodes); used for the restart penalty.
+        running: Whether the job currently holds GPUs (a change of a running
+            job's allocation requires a checkpoint-restart and incurs
+            RESTART_PENALTY).
+    """
+
+    speedup_table: np.ndarray
+    weight: float
+    max_gpus: int
+    current_alloc: np.ndarray
+    running: bool
+
+    def __post_init__(self) -> None:
+        self.speedup_table = np.asarray(self.speedup_table, dtype=float)
+        if self.speedup_table.ndim != 2 or self.speedup_table.shape[1] != 2:
+            raise ValueError("speedup_table must have shape (K+1, 2)")
+        if self.max_gpus < 1:
+            raise ValueError("max_gpus must be >= 1")
+        if self.max_gpus > self.speedup_table.shape[0] - 1:
+            raise ValueError(
+                f"max_gpus={self.max_gpus} exceeds speedup table rows "
+                f"({self.speedup_table.shape[0]})"
+            )
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+        self.current_alloc = np.asarray(self.current_alloc, dtype=np.int64)
+
+
+class AllocationProblem:
+    """Fitness evaluation and constraints for one scheduling round."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        jobs: Sequence[JobGAInfo],
+        restart_penalty: float = 0.25,
+        forbid_interference: bool = True,
+    ):
+        self.cluster = cluster
+        self.jobs = list(jobs)
+        self.restart_penalty = float(restart_penalty)
+        self.forbid_interference = forbid_interference
+        self.num_jobs = len(self.jobs)
+        self.num_nodes = cluster.num_nodes
+        self.capacities = cluster.capacities()
+
+        if self.num_jobs:
+            self.max_gpus = np.array([j.max_gpus for j in self.jobs], dtype=np.int64)
+            self.weights = np.array([j.weight for j in self.jobs], dtype=float)
+            self.current = np.stack([j.current_alloc for j in self.jobs])
+            self.running = np.array([j.running for j in self.jobs], dtype=bool)
+            k_rows = int(self.max_gpus.max()) + 1
+            self.tables = np.zeros((self.num_jobs, k_rows, 2), dtype=float)
+            for idx, job in enumerate(self.jobs):
+                rows = min(job.speedup_table.shape[0], k_rows)
+                self.tables[idx, :rows] = job.speedup_table[:rows]
+                if rows < k_rows:
+                    # Pad with the last row; repair keeps K <= max_gpus so
+                    # these cells are never actually selected.
+                    self.tables[idx, rows:] = job.speedup_table[-1]
+        else:
+            self.max_gpus = np.zeros(0, dtype=np.int64)
+            self.weights = np.zeros(0, dtype=float)
+            self.current = np.zeros((0, self.num_nodes), dtype=np.int64)
+            self.running = np.zeros(0, dtype=bool)
+            self.tables = np.zeros((0, 1, 2), dtype=float)
+
+    def speedups(self, population: np.ndarray) -> np.ndarray:
+        """Per-job SPEEDUP for a (P, J, N) population; returns (P, J)."""
+        pop = np.asarray(population)
+        k = np.minimum(pop.sum(axis=-1), self.max_gpus[None, :])
+        flag = ((pop > 0).sum(axis=-1) >= 2).astype(np.int64)
+        j_idx = np.arange(self.num_jobs)[None, :]
+        return self.tables[j_idx, k, flag]
+
+    def fitness(self, population: np.ndarray) -> np.ndarray:
+        """FITNESS(A) (Eqn. 14) for a (P, J, N) population; returns (P,)."""
+        pop = np.asarray(population)
+        if self.num_jobs == 0:
+            return np.zeros(pop.shape[0], dtype=float)
+        sp = self.speedups(pop)
+        changed = np.any(pop != self.current[None], axis=-1)
+        penalty = self.restart_penalty * (changed & self.running[None, :])
+        weighted = self.weights[None, :] * (sp - penalty)
+        denom = self.weights.sum()
+        if denom <= 0:
+            return np.zeros(pop.shape[0], dtype=float)
+        return weighted.sum(axis=-1) / denom
+
+    def utility(self, matrix: np.ndarray) -> float:
+        """UTILITY(A) = sum_j SPEEDUP_j / TOTAL_GPUS (Eqn. 17)."""
+        sp = self.speedups(np.asarray(matrix)[None])
+        total = self.cluster.total_gpus
+        return float(sp.sum() / total) if total > 0 else 0.0
+
+
+class GeneticOptimizer:
+    """Runs the Sec. 4.2.1 genetic algorithm on an allocation problem."""
+
+    def __init__(
+        self,
+        problem: AllocationProblem,
+        config: GAConfig = GAConfig(),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.problem = problem
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def _mutate(self, population: np.ndarray) -> np.ndarray:
+        """Mutate each element with probability 1/N to a random feasible value."""
+        prob = 1.0 / max(self.problem.num_nodes, 1)
+        shape = population.shape
+        mask = self.rng.random(shape) < prob
+        caps = self.problem.capacities[None, None, :]
+        random_vals = self.rng.integers(0, caps + 1, size=shape)
+        return np.where(mask, random_vals, population)
+
+    def _tournament(self, fitness: np.ndarray, count: int) -> np.ndarray:
+        """Indices of ``count`` winners of size-k tournaments."""
+        pop_size = len(fitness)
+        k = min(self.config.tournament_size, pop_size)
+        entrants = self.rng.integers(0, pop_size, size=(count, k))
+        winner_slot = np.argmax(fitness[entrants], axis=1)
+        return entrants[np.arange(count), winner_slot]
+
+    def _crossover(self, population: np.ndarray, fitness: np.ndarray) -> np.ndarray:
+        """Produce offspring by randomly mixing rows of tournament winners."""
+        count = population.shape[0]
+        parents_a = population[self._tournament(fitness, count)]
+        parents_b = population[self._tournament(fitness, count)]
+        take_a = self.rng.random((count, self.problem.num_jobs, 1)) < 0.5
+        return np.where(take_a, parents_a, parents_b)
+
+    def _repair(self, population: np.ndarray) -> np.ndarray:
+        """Apply per-job caps, node capacities, and interference avoidance."""
+        pop = population.copy()
+        self._repair_job_caps(pop)
+        self._repair_capacity(pop)
+        if self.problem.forbid_interference:
+            self._repair_interference(pop)
+        return pop
+
+    def _repair_job_caps(self, pop: np.ndarray) -> None:
+        """Decrement random entries of rows exceeding the per-job GPU cap."""
+        totals = pop.sum(axis=-1)
+        excess = totals - self.problem.max_gpus[None, :]
+        where_p, where_j = np.where(excess > 0)
+        for p, j in zip(where_p, where_j):
+            row = pop[p, j]
+            removal = self.rng.multivariate_hypergeometric(
+                row.tolist(), int(excess[p, j])
+            )
+            pop[p, j] = row - removal
+
+    def _repair_capacity(self, pop: np.ndarray) -> None:
+        """Decrement random entries of over-capacity node columns."""
+        used = pop.sum(axis=1)  # (P, N)
+        excess = used - self.problem.capacities[None, :]
+        where_p, where_n = np.where(excess > 0)
+        for p, n in zip(where_p, where_n):
+            col = pop[p, :, n]
+            removal = self.rng.multivariate_hypergeometric(
+                col.tolist(), int(excess[p, n])
+            )
+            pop[p, :, n] = col - removal
+
+    def _repair_interference(self, pop: np.ndarray) -> None:
+        """Ensure at most one distributed job occupies each node.
+
+        Repeatedly finds (member, node) pairs where two or more distributed
+        jobs share the node and removes all but one (randomly kept) of them
+        from that node, as in Sec. 4.2.1.
+        """
+        for _ in range(self.problem.num_nodes + 1):
+            dist = (pop > 0).sum(axis=-1) >= 2  # (P, J)
+            present = pop > 0  # (P, J, N)
+            sharing = (present & dist[:, :, None]).sum(axis=1)  # (P, N)
+            where_p, where_n = np.where(sharing >= 2)
+            if len(where_p) == 0:
+                return
+            for p, n in zip(where_p, where_n):
+                # Re-check: earlier removals in this pass may have fixed it.
+                row_dist = (pop[p] > 0).sum(axis=-1) >= 2
+                offenders = np.where((pop[p, :, n] > 0) & row_dist)[0]
+                if len(offenders) < 2:
+                    continue
+                keep = offenders[self.rng.integers(0, len(offenders))]
+                drop = offenders[offenders != keep]
+                pop[p, drop, n] = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def seed_population(
+        self, initial: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Build the starting population.
+
+        Always includes the current allocation matrix (a restart-free
+        candidate); the remainder comes from ``initial`` (the previous
+        round's population, per Sec. 4.3) padded with mutated copies of the
+        current allocations.
+        """
+        p_size = self.config.population_size
+        num_jobs = self.problem.num_jobs
+        num_nodes = self.problem.num_nodes
+        members: List[np.ndarray] = [self.problem.current.copy()]
+        if initial is not None:
+            init = np.asarray(initial, dtype=np.int64)
+            if init.ndim != 3 or init.shape[1:] != (num_jobs, num_nodes):
+                raise ValueError(
+                    f"initial population has shape {init.shape}, expected "
+                    f"(*, {num_jobs}, {num_nodes})"
+                )
+            members.extend(init[: p_size - 1])
+        while len(members) < p_size:
+            members.append(self.problem.current.copy())
+        pop = np.stack(members[:p_size]).astype(np.int64)
+        # Diversify the padded copies.
+        if initial is None or len(initial) < p_size - 1:
+            tail = pop[1:]
+            pop[1:] = self._mutate(tail)
+        return self._repair(pop)
+
+    def run(
+        self, initial: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, float, np.ndarray]:
+        """Run the GA and return (best matrix, best fitness, population).
+
+        The returned population (sorted by descending fitness) can bootstrap
+        the next scheduling round.
+        """
+        if self.problem.num_jobs == 0:
+            empty = np.zeros((0, self.problem.num_nodes), dtype=np.int64)
+            return empty, 0.0, np.zeros(
+                (self.config.population_size, 0, self.problem.num_nodes),
+                dtype=np.int64,
+            )
+
+        population = self.seed_population(initial)
+        fitness = self.problem.fitness(population)
+
+        for _ in range(self.config.generations):
+            mutated = self._mutate(population)
+            mutated = self._repair(mutated)
+            mutated_fitness = self.problem.fitness(mutated)
+            offspring = self._crossover(mutated, mutated_fitness)
+            offspring = self._repair(offspring)
+            offspring_fitness = self.problem.fitness(offspring)
+
+            pool = np.concatenate([population, mutated, offspring])
+            pool_fitness = np.concatenate(
+                [fitness, mutated_fitness, offspring_fitness]
+            )
+            order = np.argsort(-pool_fitness, kind="stable")
+            keep = order[: self.config.population_size]
+            population = pool[keep]
+            fitness = pool_fitness[keep]
+
+        best_idx = int(np.argmax(fitness))
+        return population[best_idx].copy(), float(fitness[best_idx]), population

@@ -1,0 +1,175 @@
+"""The goodput of DL training (Sec. 3, Definition 3.1).
+
+    GOODPUT_t(a, m) = THROUGHPUT(a, m) * EFFICIENCY_t(m)    (Eqn. 6)
+
+A job's goodput is the rate at which it makes *statistical* progress,
+measured in m0-equivalent training samples per second.  It is always at most
+the throughput, with equality only at perfect statistical efficiency.
+
+This module combines a :class:`~repro.core.throughput.ThroughputModel` with
+an :class:`~repro.core.efficiency.EfficiencyModel` and provides the
+batch-size maximization of Eqn. 13 (golden-section over the unimodal
+GOODPUT(a, .)) as well as a vectorized geometric-grid variant used when
+building speedup tables for the genetic algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .efficiency import EfficiencyModel
+from .goldensection import golden_section_search
+from .throughput import ThroughputModel, ThroughputParams
+
+__all__ = ["BatchSizeLimits", "GoodputModel", "batch_size_grid"]
+
+
+@dataclass(frozen=True)
+class BatchSizeLimits:
+    """Constraints on the total batch size m for one job.
+
+    Pollux only considers m >= m0 (Sec. 3) and a GPU can hold at most
+    ``max_local_bsz`` samples, so K GPUs support m <= K * max_local_bsz.
+    ``max_batch_size`` is an application-level cap (beyond which the user
+    forbids scaling, e.g. for generalization concerns).
+    """
+
+    init_batch_size: float
+    max_batch_size: float
+    max_local_bsz: float
+
+    def __post_init__(self) -> None:
+        if self.init_batch_size <= 0:
+            raise ValueError("init_batch_size must be positive")
+        if self.max_batch_size < self.init_batch_size:
+            raise ValueError("max_batch_size must be >= init_batch_size")
+        if self.max_local_bsz <= 0:
+            raise ValueError("max_local_bsz must be positive")
+
+    def range_for(self, num_gpus: int) -> Optional[Tuple[float, float]]:
+        """Feasible [lo, hi] total batch size for K GPUs, or None.
+
+        ``None`` means the initial batch size itself does not fit on the
+        given number of GPUs (the job needs more GPUs to run at all).
+        """
+        if num_gpus < 1:
+            return None
+        hi = min(self.max_batch_size, num_gpus * self.max_local_bsz)
+        lo = self.init_batch_size
+        if hi < lo:
+            return None
+        return lo, hi
+
+    def min_gpus(self) -> int:
+        """Minimum number of GPUs on which the initial batch size fits."""
+        return int(np.ceil(self.init_batch_size / self.max_local_bsz))
+
+
+def batch_size_grid(lo: float, hi: float, points_per_octave: int = 16) -> np.ndarray:
+    """Geometric grid of candidate batch sizes in [lo, hi], inclusive.
+
+    Used for vectorized maximization of the (unimodal) goodput over m.
+    """
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"invalid range [{lo}, {hi}]")
+    if hi == lo:
+        return np.array([lo], dtype=float)
+    num = max(2, int(np.ceil(np.log2(hi / lo) * points_per_octave)) + 1)
+    return np.geomspace(lo, hi, num=num)
+
+
+class GoodputModel:
+    """GOODPUT(a, m) for one job at one training moment (Eqn. 6)."""
+
+    def __init__(
+        self,
+        throughput_params: ThroughputParams,
+        efficiency_model: EfficiencyModel,
+        limits: BatchSizeLimits,
+    ):
+        self.throughput_model = ThroughputModel(throughput_params)
+        self.efficiency_model = efficiency_model
+        self.limits = limits
+        if efficiency_model.init_batch_size != limits.init_batch_size:
+            raise ValueError(
+                "efficiency model and batch size limits disagree on m0: "
+                f"{efficiency_model.init_batch_size} vs {limits.init_batch_size}"
+            )
+
+    def throughput(self, num_nodes, num_gpus, batch_size):
+        """THROUGHPUT(a, m) in samples/second."""
+        return self.throughput_model.throughput(num_nodes, num_gpus, batch_size)
+
+    def efficiency(self, batch_size):
+        """EFFICIENCY_t(m) in (0, 1]."""
+        return self.efficiency_model.efficiency(batch_size)
+
+    def goodput(self, num_nodes, num_gpus, batch_size):
+        """GOODPUT_t(a, m) in m0-equivalent samples/second (Eqn. 6)."""
+        return self.throughput(num_nodes, num_gpus, batch_size) * self.efficiency(
+            batch_size
+        )
+
+    def optimize_batch_size(
+        self,
+        num_nodes: int,
+        num_gpus: int,
+        tol: float = 1.0,
+    ) -> Tuple[float, float]:
+        """argmax_m GOODPUT(a, m) via golden-section search (Eqn. 13).
+
+        GOODPUT(a, .) is unimodal in m (Sec. 4.1), so golden-section search
+        finds the global maximum.
+
+        Args:
+            num_nodes: Number of physical nodes in the placement.
+            num_gpus: Total number of GPUs in the placement.
+            tol: Absolute tolerance on the located batch size.
+
+        Returns:
+            Tuple ``(m_star, goodput_at_m_star)``.
+
+        Raises:
+            ValueError: If no feasible batch size exists for this placement.
+        """
+        rng = self.limits.range_for(num_gpus)
+        if rng is None:
+            raise ValueError(
+                f"initial batch size {self.limits.init_batch_size} does not fit "
+                f"on {num_gpus} GPU(s) with max_local_bsz "
+                f"{self.limits.max_local_bsz}"
+            )
+        lo, hi = rng
+
+        def objective(m: float) -> float:
+            return float(self.goodput(num_nodes, num_gpus, m))
+
+        return golden_section_search(objective, lo, hi, tol=tol)
+
+    def optimize_batch_size_grid(
+        self,
+        num_nodes: int,
+        num_gpus: int,
+        points_per_octave: int = 16,
+    ) -> Tuple[float, float]:
+        """Grid-search variant of :meth:`optimize_batch_size`.
+
+        Evaluates the goodput on a dense geometric grid; since the goodput is
+        unimodal and smooth in m, the grid optimum matches golden-section to
+        within grid resolution.  Exposed mainly for testing the equivalence;
+        speedup tables use the fully vectorized form in
+        :mod:`repro.core.speedup`.
+        """
+        rng = self.limits.range_for(num_gpus)
+        if rng is None:
+            raise ValueError(
+                f"initial batch size {self.limits.init_batch_size} does not fit "
+                f"on {num_gpus} GPU(s)"
+            )
+        grid = batch_size_grid(*rng, points_per_octave=points_per_octave)
+        values = np.asarray(self.goodput(num_nodes, num_gpus, grid))
+        idx = int(np.argmax(values))
+        return float(grid[idx]), float(values[idx])

@@ -1,0 +1,266 @@
+"""Rack-aware extension of the T_sync model (Sec. 3.2).
+
+The paper notes: "our model for T_sync can be extended to account for
+rack-level locality by adding a third pair of parameters."  This module
+implements that extension: placements are classified into three locality
+tiers — co-located on one node, spanning nodes within one rack, spanning
+racks — each with its own (alpha, beta) synchronization parameters:
+
+    T_sync = 0                            if K == 1
+           = a_loc  + b_loc  * (K - 2)    if all replicas on one node
+           = a_node + b_node * (K - 2)    if one rack, multiple nodes
+           = a_rack + b_rack * (K - 2)    otherwise (multiple racks)
+
+Fitting follows the same RMSLE + L-BFGS-B recipe as the base model, with
+tier parameters pinned to zero until the corresponding locality regime has
+been observed (the natural generalization of the Sec. 4.1 priors).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from .throughput import GAMMA_MAX, GAMMA_MIN
+
+__all__ = [
+    "RackThroughputParams",
+    "RackThroughputModel",
+    "RackProfileEntry",
+    "fit_rack_throughput_params",
+]
+
+_PARAM_NAMES = (
+    "alpha_grad",
+    "beta_grad",
+    "alpha_sync_local",
+    "beta_sync_local",
+    "alpha_sync_node",
+    "beta_sync_node",
+    "alpha_sync_rack",
+    "beta_sync_rack",
+    "gamma",
+)
+
+
+@dataclass(frozen=True)
+class RackThroughputParams:
+    """theta_sys extended with a rack-locality pair (9 parameters)."""
+
+    alpha_grad: float
+    beta_grad: float
+    alpha_sync_local: float
+    beta_sync_local: float
+    alpha_sync_node: float
+    beta_sync_node: float
+    alpha_sync_rack: float
+    beta_sync_rack: float
+    gamma: float
+
+    def __post_init__(self) -> None:
+        for name in _PARAM_NAMES[:-1]:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not (GAMMA_MIN <= self.gamma <= GAMMA_MAX):
+            raise ValueError(f"gamma must be in [{GAMMA_MIN}, {GAMMA_MAX}]")
+
+    def as_vector(self) -> np.ndarray:
+        """Parameters as a 9-vector in canonical order."""
+        return np.array([getattr(self, n) for n in _PARAM_NAMES], dtype=float)
+
+    @classmethod
+    def from_vector(cls, vec: Sequence[float]) -> "RackThroughputParams":
+        """Build params from a 9-vector in canonical order."""
+        if len(vec) != len(_PARAM_NAMES):
+            raise ValueError(f"expected {len(_PARAM_NAMES)} values")
+        return cls(**dict(zip(_PARAM_NAMES, (float(v) for v in vec))))
+
+    def replace(self, **kwargs: float) -> "RackThroughputParams":
+        """Copy with fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class RackProfileEntry:
+    """Observed (racks, nodes, gpus, batch size, T_iter) tuple."""
+
+    num_racks: int
+    num_nodes: int
+    num_gpus: int
+    batch_size: float
+    t_iter: float
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.num_racks <= self.num_nodes <= self.num_gpus):
+            raise ValueError(
+                "placement must satisfy 1 <= racks <= nodes <= gpus, got "
+                f"({self.num_racks}, {self.num_nodes}, {self.num_gpus})"
+            )
+        if self.batch_size <= 0 or self.t_iter <= 0:
+            raise ValueError("batch_size and t_iter must be positive")
+
+
+class RackThroughputModel:
+    """Evaluates the rack-aware throughput model."""
+
+    def __init__(self, params: RackThroughputParams):
+        self.params = params
+
+    def t_grad(self, num_gpus, batch_size):
+        """Per-iteration gradient computation time (unchanged, Eqn. 9)."""
+        p = self.params
+        return p.alpha_grad + p.beta_grad * np.asarray(batch_size, dtype=float) / (
+            np.asarray(num_gpus, dtype=float)
+        )
+
+    def t_sync(self, num_racks, num_nodes, num_gpus):
+        """Three-tier synchronization time."""
+        p = self.params
+        racks = np.asarray(num_racks, dtype=float)
+        nodes = np.asarray(num_nodes, dtype=float)
+        gpus = np.asarray(num_gpus, dtype=float)
+        racks, nodes, gpus = np.broadcast_arrays(racks, nodes, gpus)
+        extra = np.maximum(gpus - 2.0, 0.0)
+        local = p.alpha_sync_local + p.beta_sync_local * extra
+        node = p.alpha_sync_node + p.beta_sync_node * extra
+        rack = p.alpha_sync_rack + p.beta_sync_rack * extra
+        out = np.where(racks > 1, rack, np.where(nodes > 1, node, local))
+        return np.where(gpus <= 1, 0.0, out)
+
+    def t_iter(self, num_racks, num_nodes, num_gpus, batch_size):
+        """Gamma-blended total iteration time (Eqn. 11 with 3-tier sync)."""
+        gamma = self.params.gamma
+        tg = np.asarray(self.t_grad(num_gpus, batch_size), dtype=float)
+        ts = np.asarray(self.t_sync(num_racks, num_nodes, num_gpus), dtype=float)
+        tg, ts = np.broadcast_arrays(tg, ts)
+        hi = np.maximum(tg, ts)
+        lo = np.minimum(tg, ts)
+        ratio = np.where(hi > 0, lo / np.where(hi > 0, hi, 1.0), 0.0)
+        return hi * np.power(1.0 + np.power(ratio, gamma), 1.0 / gamma)
+
+    def throughput(self, num_racks, num_nodes, num_gpus, batch_size):
+        """Samples/second for the given placement and batch size."""
+        m = np.asarray(batch_size, dtype=float)
+        return m / self.t_iter(num_racks, num_nodes, num_gpus, m)
+
+
+def _pinned(observations: Sequence[RackProfileEntry]) -> Tuple[str, ...]:
+    """Locality tiers never observed stay pinned to zero (Sec. 4.1 prior)."""
+    seen_multi_gpu = any(o.num_gpus > 1 for o in observations)
+    seen_multi_node = any(o.num_nodes > 1 for o in observations)
+    seen_multi_rack = any(o.num_racks > 1 for o in observations)
+    seen_three_gpus = any(o.num_gpus > 2 for o in observations)
+    pinned: List[str] = []
+    if not seen_multi_gpu:
+        pinned.append("alpha_sync_local")
+    if not seen_multi_node:
+        pinned.append("alpha_sync_node")
+    if not seen_multi_rack:
+        pinned.append("alpha_sync_rack")
+    # A tier's retrogression term is identifiable only once >2 GPUs *and*
+    # that locality tier have both been observed.
+    if not seen_three_gpus:
+        pinned.append("beta_sync_local")
+    if not (seen_three_gpus and seen_multi_node):
+        pinned.append("beta_sync_node")
+    if not (seen_three_gpus and seen_multi_rack):
+        pinned.append("beta_sync_rack")
+    return tuple(pinned)
+
+
+def _loss(
+    vec: np.ndarray,
+    free_idx: np.ndarray,
+    base: np.ndarray,
+    racks: np.ndarray,
+    nodes: np.ndarray,
+    gpus: np.ndarray,
+    batch: np.ndarray,
+    t_obs_log: np.ndarray,
+) -> float:
+    full = base.copy()
+    full[free_idx] = np.abs(vec)
+    full[-1] = float(np.clip(full[-1], GAMMA_MIN, GAMMA_MAX))
+    model = RackThroughputModel(RackThroughputParams.from_vector(full))
+    pred = np.asarray(model.t_iter(racks, nodes, gpus, batch), dtype=float)
+    err = np.log(np.maximum(pred, 1e-12)) - t_obs_log
+    return float(np.sqrt(np.mean(err * err)))
+
+
+def fit_rack_throughput_params(
+    observations: Iterable[RackProfileEntry],
+    initial: Optional[RackThroughputParams] = None,
+    num_restarts: int = 3,
+    seed: int = 0,
+) -> RackThroughputParams:
+    """Fit the 9-parameter rack-aware model by RMSLE minimization."""
+    obs = list(observations)
+    if not obs:
+        raise ValueError("cannot fit with no observations")
+    racks = np.array([o.num_racks for o in obs], dtype=float)
+    nodes = np.array([o.num_nodes for o in obs], dtype=float)
+    gpus = np.array([o.num_gpus for o in obs], dtype=float)
+    batch = np.array([o.batch_size for o in obs], dtype=float)
+    t_obs = np.array([o.t_iter for o in obs], dtype=float)
+
+    pinned = _pinned(obs)
+    free_names = [n for n in _PARAM_NAMES if n not in pinned]
+    free_idx = np.array([_PARAM_NAMES.index(n) for n in free_names], dtype=int)
+    base = np.zeros(len(_PARAM_NAMES), dtype=float)
+    base[-1] = GAMMA_MIN
+
+    t_min = float(np.min(t_obs))
+    beta_guess = float(np.median(t_obs / np.maximum(batch / gpus, 1e-9)))
+    default = {
+        "alpha_grad": 0.5 * t_min,
+        "beta_grad": 0.5 * beta_guess,
+        "alpha_sync_local": 0.1 * t_min,
+        "beta_sync_local": 0.01 * t_min,
+        "alpha_sync_node": 0.2 * t_min,
+        "beta_sync_node": 0.01 * t_min,
+        "alpha_sync_rack": 0.4 * t_min,
+        "beta_sync_rack": 0.02 * t_min,
+        "gamma": 2.0,
+    }
+    bounds = [
+        (GAMMA_MIN, GAMMA_MAX) if n == "gamma" else (0.0, None)
+        for n in free_names
+    ]
+
+    starts = []
+    if initial is not None:
+        starts.append(initial.as_vector()[free_idx])
+    starts.append(np.array([default[n] for n in free_names], dtype=float))
+    rng = np.random.default_rng(seed)
+    for _ in range(num_restarts):
+        jitter = rng.lognormal(sigma=1.0, size=len(free_names))
+        start = np.array([default[n] for n in free_names]) * jitter
+        if "gamma" in free_names:
+            start[free_names.index("gamma")] = rng.uniform(GAMMA_MIN, GAMMA_MAX)
+        starts.append(start)
+
+    args = (free_idx, base, racks, nodes, gpus, batch, np.log(t_obs))
+    best_vec, best_loss = None, np.inf
+    for start in starts:
+        clipped = np.clip(
+            start,
+            [b[0] for b in bounds],
+            [b[1] if b[1] is not None else np.inf for b in bounds],
+        )
+        result = minimize(
+            _loss, clipped, args=args, method="L-BFGS-B", bounds=bounds,
+            options={"maxiter": 60},
+        )
+        if result.fun < best_loss:
+            best_loss = float(result.fun)
+            best_vec = np.asarray(result.x)
+
+    assert best_vec is not None
+    full = base.copy()
+    full[free_idx] = np.abs(best_vec)
+    full[-1] = float(np.clip(full[-1], GAMMA_MIN, GAMMA_MAX))
+    return RackThroughputParams.from_vector(full)

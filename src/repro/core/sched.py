@@ -1,0 +1,170 @@
+"""PolluxSched: cluster-wide optimization (Sec. 4.2).
+
+At a fixed interval, PolluxSched re-optimizes the allocation matrix for all
+jobs in the cluster by running the genetic algorithm on the fitness function
+
+    FITNESS(A) = sum_j w_j * SPEEDUP_j(A_j) / sum_j w_j     (Eqn. 14)
+
+where SPEEDUP_j (Eqn. 15) is evaluated from each job's reported goodput
+model, w_j is the GPU-time-decayed job weight (Eqn. 16), a RESTART_PENALTY is
+charged for every running job whose allocation changes, the interference
+avoidance constraint forbids two distributed jobs from sharing a node, and
+each job's allocation is capped at twice its lifetime-maximum GPU count
+(Sec. 4.1's exploration rule).  The GA population is preserved between
+scheduling rounds to bootstrap the next optimization (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.spec import ClusterSpec
+from .agent import AgentReport
+from .genetic import AllocationProblem, GAConfig, GeneticOptimizer, JobGAInfo
+from .speedup import build_speedup_table
+
+__all__ = ["PolluxSchedConfig", "SchedJobInfo", "job_weight", "PolluxSched"]
+
+
+@dataclass(frozen=True)
+class PolluxSchedConfig:
+    """Operator-facing configuration of PolluxSched (Sec. 5.1 defaults)."""
+
+    restart_penalty: float = 0.25
+    forbid_interference: bool = True
+    gputime_thres: float = 4.0 * 3600.0  # 4 GPU-hours, in GPU-seconds
+    weight_decay: float = 0.5  # lambda in Eqn. 16
+    ga: GAConfig = field(default_factory=GAConfig)
+    table_points_per_octave: int = 16
+
+    def __post_init__(self) -> None:
+        if self.restart_penalty < 0:
+            raise ValueError("restart_penalty must be non-negative")
+        if self.gputime_thres <= 0:
+            raise ValueError("gputime_thres must be positive")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+
+
+@dataclass
+class SchedJobInfo:
+    """Snapshot of one job as seen by PolluxSched at a scheduling round."""
+
+    job_id: str
+    report: AgentReport
+    current_alloc: np.ndarray
+    gputime: float  # total GPU-seconds consumed so far
+
+    def __post_init__(self) -> None:
+        self.current_alloc = np.asarray(self.current_alloc, dtype=np.int64)
+        if self.gputime < 0:
+            raise ValueError("gputime must be non-negative")
+
+
+def job_weight(gputime: float, gputime_thres: float, decay: float) -> float:
+    """w_j = min(1, GPUTIME_THRES / GPUTIME(j)) ** lambda (Eqn. 16)."""
+    if gputime_thres <= 0:
+        raise ValueError("gputime_thres must be positive")
+    if gputime <= gputime_thres:
+        return 1.0
+    return float((gputime_thres / gputime) ** decay)
+
+
+class PolluxSched:
+    """Cluster-wide goodput-maximizing scheduler."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        config: Optional[PolluxSchedConfig] = None,
+        seed: int = 0,
+    ):
+        self.cluster = cluster
+        self.config = config if config is not None else PolluxSchedConfig()
+        self._rng = np.random.default_rng(seed)
+        self._population: Optional[np.ndarray] = None
+        self._population_job_ids: List[str] = []
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+
+    def set_cluster(self, cluster: ClusterSpec) -> None:
+        """Replace the cluster (cloud auto-scaling); resets the GA bootstrap
+        population if the node count changed."""
+        if cluster.num_nodes != self.cluster.num_nodes:
+            self._population = None
+            self._population_job_ids = []
+        self.cluster = cluster
+
+    def _bootstrap_population(self, job_ids: Sequence[str]) -> Optional[np.ndarray]:
+        """Re-index the saved population for this round's job set."""
+        if self._population is None or self._population.size == 0:
+            return None
+        old_index = {jid: i for i, jid in enumerate(self._population_job_ids)}
+        pop_size = self._population.shape[0]
+        num_nodes = self.cluster.num_nodes
+        out = np.zeros((pop_size, len(job_ids), num_nodes), dtype=np.int64)
+        for new_j, jid in enumerate(job_ids):
+            old_j = old_index.get(jid)
+            if old_j is not None:
+                out[:, new_j, :] = self._population[:, old_j, :]
+        return out
+
+    def build_problem(self, jobs: Sequence[SchedJobInfo]) -> AllocationProblem:
+        """Construct the GA allocation problem for one scheduling round."""
+        cfg = self.config
+        total_gpus = self.cluster.total_gpus
+        ga_jobs: List[JobGAInfo] = []
+        for job in jobs:
+            cap = job.report.exploration_cap(total_gpus)
+            table = build_speedup_table(
+                job.report.goodput_model(),
+                max_gpus=cap,
+                points_per_octave=cfg.table_points_per_octave,
+            )
+            weight = job_weight(job.gputime, cfg.gputime_thres, cfg.weight_decay)
+            ga_jobs.append(
+                JobGAInfo(
+                    speedup_table=table,
+                    weight=weight,
+                    max_gpus=cap,
+                    current_alloc=job.current_alloc,
+                    running=bool(job.current_alloc.sum() > 0),
+                )
+            )
+        return AllocationProblem(
+            self.cluster,
+            ga_jobs,
+            restart_penalty=cfg.restart_penalty,
+            forbid_interference=cfg.forbid_interference,
+        )
+
+    def optimize(
+        self, jobs: Sequence[SchedJobInfo]
+    ) -> Dict[str, np.ndarray]:
+        """Run one scheduling round; return job_id -> allocation vector."""
+        self.rounds += 1
+        job_ids = [job.job_id for job in jobs]
+        if len(set(job_ids)) != len(job_ids):
+            raise ValueError("duplicate job ids in scheduling round")
+        if not jobs:
+            self._population = None
+            self._population_job_ids = []
+            return {}
+
+        problem = self.build_problem(jobs)
+        optimizer = GeneticOptimizer(problem, self.config.ga, rng=self._rng)
+        initial = self._bootstrap_population(job_ids)
+        best, _, population = optimizer.run(initial=initial)
+
+        self._population = population
+        self._population_job_ids = list(job_ids)
+        return {jid: best[j].copy() for j, jid in enumerate(job_ids)}
+
+    def utility(self, jobs: Sequence[SchedJobInfo], matrix: np.ndarray) -> float:
+        """UTILITY(A) of an allocation matrix for these jobs (Eqn. 17)."""
+        problem = self.build_problem(jobs)
+        return problem.utility(matrix)

@@ -1,0 +1,146 @@
+"""SPEEDUP_j(A_j) (Sec. 4.2, Eqn. 15) and vectorized speedup tables.
+
+    SPEEDUP_j(A_j) = max_m GOODPUT_j(A_j, m) / max_m GOODPUT_j(1, m)
+
+A single allocated GPU always yields a speedup of 1, and speedup grows
+sub-linearly with more GPUs.  Because the paper's T_sync model (Eqn. 10)
+distinguishes placements only by K (total GPUs) and whether all replicas are
+co-located on one node, SPEEDUP depends on the placement A_j only through
+(K, min(N, 2)).  We exploit this to precompute per-job speedup *tables* of
+shape (K_max + 1, 2) which the genetic algorithm evaluates with O(1) lookups,
+and we vectorize the inner max over the batch size on a dense geometric grid
+(GOODPUT is unimodal in m, so the grid optimum matches golden-section).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .goodput import GoodputModel, batch_size_grid
+
+__all__ = ["speedup", "build_speedup_table", "best_batch_size_table"]
+
+#: Column index for placements co-located on a single node.
+SINGLE_NODE = 0
+#: Column index for placements spanning two or more nodes.
+MULTI_NODE = 1
+
+
+def _reference_goodput(model: GoodputModel, tol: float = 0.5) -> float:
+    """max_m GOODPUT(single process, m): the SPEEDUP denominator.
+
+    If the initial batch size does not fit on a single GPU, the smallest
+    feasible co-located placement is used instead, preserving the property
+    that the smallest feasible allocation has speedup 1.
+    """
+    min_gpus = model.limits.min_gpus()
+    _, best = model.optimize_batch_size(1, min_gpus, tol=tol)
+    return best
+
+
+def speedup(
+    model: GoodputModel,
+    num_nodes: int,
+    num_gpus: int,
+    tol: float = 0.5,
+) -> float:
+    """SPEEDUP for one placement, via golden-section search (Eqn. 15)."""
+    if num_gpus == 0:
+        return 0.0
+    rng = model.limits.range_for(num_gpus)
+    if rng is None:
+        return 0.0
+    _, numer = model.optimize_batch_size(num_nodes, num_gpus, tol=tol)
+    denom = _reference_goodput(model, tol=tol)
+    if denom <= 0:
+        return 0.0
+    return numer / denom
+
+
+def _goodput_surface(
+    model: GoodputModel,
+    max_gpus: int,
+    points_per_octave: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized max_m GOODPUT over a (K, placement-flag) surface.
+
+    Returns:
+        Tuple of two arrays of shape ``(max_gpus + 1, 2)``: the maximal
+        goodput and the corresponding argmax batch size.  Row 0 and
+        infeasible cells are 0.
+    """
+    limits = model.limits
+    global_hi = min(limits.max_batch_size, max_gpus * limits.max_local_bsz)
+    grid = batch_size_grid(
+        limits.init_batch_size, max(global_hi, limits.init_batch_size),
+        points_per_octave=points_per_octave,
+    )  # (M,)
+
+    ks = np.arange(1, max_gpus + 1, dtype=float)  # (K,)
+    k_col = ks[:, None]  # (K, 1)
+    m_row = grid[None, :]  # (1, M)
+
+    # Feasibility mask: m0 <= m <= min(max_batch_size, K * max_local_bsz).
+    feasible = m_row <= np.minimum(
+        limits.max_batch_size, k_col * limits.max_local_bsz
+    )
+
+    eff = model.efficiency_model.efficiency(grid)[None, :]  # (1, M)
+
+    surfaces = np.zeros((max_gpus + 1, 2), dtype=float)
+    argmax_m = np.zeros((max_gpus + 1, 2), dtype=float)
+    for flag, nodes in ((SINGLE_NODE, 1), (MULTI_NODE, 2)):
+        tput = model.throughput_model.throughput(nodes, k_col, m_row)  # (K, M)
+        good = np.where(feasible, tput * eff, -np.inf)
+        best_idx = np.argmax(good, axis=1)  # (K,)
+        best_val = good[np.arange(len(ks)), best_idx]
+        valid = np.isfinite(best_val)
+        surfaces[1:, flag] = np.where(valid, best_val, 0.0)
+        argmax_m[1:, flag] = np.where(valid, grid[best_idx], 0.0)
+
+    # A placement spanning >= 2 nodes needs >= 2 GPUs.
+    surfaces[1, MULTI_NODE] = 0.0
+    argmax_m[1, MULTI_NODE] = 0.0
+    return surfaces, argmax_m
+
+
+def build_speedup_table(
+    model: GoodputModel,
+    max_gpus: int,
+    points_per_octave: int = 16,
+) -> np.ndarray:
+    """Speedup lookup table of shape ``(max_gpus + 1, 2)``.
+
+    ``table[k, SINGLE_NODE]`` is the speedup of k GPUs co-located on one
+    node; ``table[k, MULTI_NODE]`` of k GPUs spanning two or more nodes.
+    ``table[0, :] == 0`` and infeasible cells are 0.
+
+    Args:
+        model: The job's goodput model at its current training moment.
+        max_gpus: Largest GPU count the table covers (e.g. the job's
+            exploration cap).
+        points_per_octave: Density of the batch-size grid.
+    """
+    if max_gpus < 1:
+        raise ValueError("max_gpus must be >= 1")
+    surfaces, _ = _goodput_surface(model, max_gpus, points_per_octave)
+    min_gpus = model.limits.min_gpus()
+    denom_flag = SINGLE_NODE
+    denom = surfaces[min_gpus, denom_flag] if min_gpus <= max_gpus else 0.0
+    if denom <= 0:
+        return np.zeros_like(surfaces)
+    return surfaces / denom
+
+
+def best_batch_size_table(
+    model: GoodputModel,
+    max_gpus: int,
+    points_per_octave: int = 16,
+) -> np.ndarray:
+    """argmax_m GOODPUT per (K, placement-flag); shape ``(max_gpus + 1, 2)``."""
+    if max_gpus < 1:
+        raise ValueError("max_gpus must be >= 1")
+    _, argmax_m = _goodput_surface(model, max_gpus, points_per_octave)
+    return argmax_m

@@ -1,0 +1,351 @@
+"""The Pollux system-throughput model (Sec. 3.2 of the paper).
+
+THROUGHPUT(a, m) = m / T_iter(a, m)                       (Eqn. 8)
+T_grad(a, m)     = alpha_grad + beta_grad * m / K          (Eqn. 9)
+T_sync(a)        = 0                          if K == 1    (Eqn. 10)
+                 = a_loc + b_loc * (K - 2)    if N == 1, K >= 2
+                 = a_node + b_node * (K - 2)  otherwise
+T_iter(a, m)     = (T_grad^gamma + T_sync^gamma)^(1/gamma) (Eqn. 11)
+
+where K is the total number of allocated GPUs and N the number of physical
+nodes hosting at least one replica.  The seven learnable parameters form
+theta_sys (Eqn. 12) and are fit online by minimizing the root mean squared
+*logarithmic* error (RMSLE) against observed (placement, batch size, T_iter)
+triples using L-BFGS-B, with alpha/beta >= 0 and gamma in [1, 10] (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+__all__ = [
+    "ThroughputParams",
+    "ThroughputModel",
+    "ProfileEntry",
+    "ExplorationState",
+    "fit_throughput_params",
+    "GAMMA_MIN",
+    "GAMMA_MAX",
+]
+
+GAMMA_MIN = 1.0
+GAMMA_MAX = 10.0
+
+#: Order of the parameters inside the optimization vector.
+_PARAM_NAMES = (
+    "alpha_grad",
+    "beta_grad",
+    "alpha_sync_local",
+    "beta_sync_local",
+    "alpha_sync_node",
+    "beta_sync_node",
+    "gamma",
+)
+
+
+@dataclass(frozen=True)
+class ThroughputParams:
+    """The 7-tuple theta_sys of Eqn. 12.
+
+    All times are in seconds.  ``alpha_grad``/``beta_grad`` describe the
+    per-iteration gradient computation (constant overhead + per-local-sample
+    cost).  The sync parameters describe the constant and per-extra-replica
+    retrogression cost of gradient synchronization, with separate values for
+    co-located (single physical node) and cross-node placements.  ``gamma``
+    controls the overlap between computation and communication: gamma = 1
+    means no overlap (sum), gamma -> inf means perfect overlap (max).
+    """
+
+    alpha_grad: float
+    beta_grad: float
+    alpha_sync_local: float
+    beta_sync_local: float
+    alpha_sync_node: float
+    beta_sync_node: float
+    gamma: float
+
+    def __post_init__(self) -> None:
+        for name in _PARAM_NAMES[:-1]:
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if not (GAMMA_MIN <= self.gamma <= GAMMA_MAX):
+            raise ValueError(
+                f"gamma must be in [{GAMMA_MIN}, {GAMMA_MAX}], got {self.gamma}"
+            )
+
+    def as_vector(self) -> np.ndarray:
+        """Return the parameters as a 7-vector in canonical order."""
+        return np.array([getattr(self, n) for n in _PARAM_NAMES], dtype=float)
+
+    @classmethod
+    def from_vector(cls, vec: Sequence[float]) -> "ThroughputParams":
+        """Build params from a 7-vector in canonical order."""
+        if len(vec) != len(_PARAM_NAMES):
+            raise ValueError(f"expected {len(_PARAM_NAMES)} values, got {len(vec)}")
+        return cls(**dict(zip(_PARAM_NAMES, (float(v) for v in vec))))
+
+    def replace(self, **kwargs: float) -> "ThroughputParams":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One observed (placement, batch size, iteration time) triple."""
+
+    num_nodes: int
+    num_gpus: int
+    batch_size: float
+    t_iter: float
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.num_nodes < 1 or self.num_nodes > self.num_gpus:
+            raise ValueError(
+                f"num_nodes must be in [1, num_gpus], got "
+                f"{self.num_nodes} with num_gpus={self.num_gpus}"
+            )
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.t_iter <= 0:
+            raise ValueError("t_iter must be positive")
+
+
+@dataclass
+class ExplorationState:
+    """Which resource regimes a job has explored so far (Sec. 4.1 priors).
+
+    Until a regime is observed, the corresponding theta_sys components are
+    pinned to zero so the model optimistically assumes perfect scaling, which
+    encourages PolluxSched to explore larger allocations.
+    """
+
+    seen_multi_gpu: bool = False
+    seen_multi_node: bool = False
+    seen_more_than_two_gpus: bool = False
+
+    def observe(self, num_nodes: int, num_gpus: int) -> None:
+        """Record that a placement with the given shape was used."""
+        if num_gpus > 1:
+            self.seen_multi_gpu = True
+        if num_nodes > 1:
+            self.seen_multi_node = True
+        if num_gpus > 2:
+            self.seen_more_than_two_gpus = True
+
+    def pinned_params(self) -> Tuple[str, ...]:
+        """Names of theta_sys components currently pinned to zero.
+
+        Following Sec. 4.1: alpha_sync_local = 0 while the job has not used
+        more than one GPU; alpha_sync_node (and local) = 0 while it has not
+        used more than one node; the beta retrogression terms = 0 while it has
+        not used more than two GPUs.
+        """
+        pinned: List[str] = []
+        if not self.seen_multi_gpu:
+            pinned.append("alpha_sync_local")
+        if not self.seen_multi_node:
+            pinned.append("alpha_sync_node")
+        if not self.seen_more_than_two_gpus:
+            pinned.append("beta_sync_local")
+            pinned.append("beta_sync_node")
+        return tuple(pinned)
+
+
+class ThroughputModel:
+    """Evaluates the throughput model for a given theta_sys.
+
+    All evaluation methods accept scalars or numpy arrays (broadcast
+    together), returning arrays of the broadcast shape.
+    """
+
+    def __init__(self, params: ThroughputParams):
+        self.params = params
+
+    def t_grad(self, num_gpus, batch_size):
+        """Time per iteration spent computing local gradients (Eqn. 9)."""
+        p = self.params
+        num_gpus = np.asarray(num_gpus, dtype=float)
+        batch_size = np.asarray(batch_size, dtype=float)
+        return p.alpha_grad + p.beta_grad * batch_size / num_gpus
+
+    def t_sync(self, num_nodes, num_gpus):
+        """Time per iteration spent synchronizing gradients (Eqn. 10)."""
+        p = self.params
+        num_nodes = np.asarray(num_nodes, dtype=float)
+        num_gpus = np.asarray(num_gpus, dtype=float)
+        num_nodes, num_gpus = np.broadcast_arrays(num_nodes, num_gpus)
+        extra = np.maximum(num_gpus - 2.0, 0.0)
+        local = p.alpha_sync_local + p.beta_sync_local * extra
+        remote = p.alpha_sync_node + p.beta_sync_node * extra
+        out = np.where(num_nodes <= 1, local, remote)
+        return np.where(num_gpus <= 1, 0.0, out)
+
+    def t_iter(self, num_nodes, num_gpus, batch_size):
+        """Total time per training iteration (Eqn. 11)."""
+        gamma = self.params.gamma
+        tg = np.asarray(self.t_grad(num_gpus, batch_size), dtype=float)
+        ts = np.asarray(self.t_sync(num_nodes, num_gpus), dtype=float)
+        tg, ts = np.broadcast_arrays(tg, ts)
+        # (tg^g + ts^g)^(1/g), computed stably by factoring out the max term.
+        hi = np.maximum(tg, ts)
+        lo = np.minimum(tg, ts)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(hi > 0, lo / np.where(hi > 0, hi, 1.0), 0.0)
+        return hi * np.power(1.0 + np.power(ratio, gamma), 1.0 / gamma)
+
+    def throughput(self, num_nodes, num_gpus, batch_size):
+        """Training samples processed per second (Eqn. 8)."""
+        batch_size = np.asarray(batch_size, dtype=float)
+        return batch_size / self.t_iter(num_nodes, num_gpus, batch_size)
+
+
+def _predict_t_iter_raw(
+    vec: np.ndarray,
+    nodes: np.ndarray,
+    gpus: np.ndarray,
+    batch: np.ndarray,
+) -> np.ndarray:
+    """Eqn. 11 evaluated directly on a raw 7-vector (hot path for fitting)."""
+    ag, bg, asl, bsl, asn, bsn = np.abs(vec[:6])
+    gamma = float(np.clip(vec[6], GAMMA_MIN, GAMMA_MAX))
+    t_grad = ag + bg * batch / gpus
+    extra = np.maximum(gpus - 2.0, 0.0)
+    t_sync = np.where(nodes <= 1, asl + bsl * extra, asn + bsn * extra)
+    t_sync = np.where(gpus <= 1, 0.0, t_sync)
+    hi = np.maximum(t_grad, t_sync)
+    lo = np.minimum(t_grad, t_sync)
+    safe_hi = np.where(hi > 0, hi, 1.0)
+    ratio = np.where(hi > 0, lo / safe_hi, 0.0)
+    return hi * np.power(1.0 + np.power(ratio, gamma), 1.0 / gamma)
+
+
+def _rmsle(
+    vec: np.ndarray,
+    free_idx: np.ndarray,
+    base: np.ndarray,
+    nodes: np.ndarray,
+    gpus: np.ndarray,
+    batch: np.ndarray,
+    t_obs_log: np.ndarray,
+) -> float:
+    """RMSLE between predicted and observed iteration times."""
+    full = base.copy()
+    full[free_idx] = vec
+    pred = _predict_t_iter_raw(full, nodes, gpus, batch)
+    err = np.log(np.maximum(pred, 1e-12)) - t_obs_log
+    return float(np.sqrt(np.mean(err * err)))
+
+
+def fit_throughput_params(
+    observations: Iterable[ProfileEntry],
+    exploration: Optional[ExplorationState] = None,
+    initial: Optional[ThroughputParams] = None,
+    num_restarts: int = 4,
+    seed: int = 0,
+) -> ThroughputParams:
+    """Fit theta_sys to observed profile entries (Sec. 4.1, online fitting).
+
+    Minimizes RMSLE between Eqn. 11 and the observations using L-BFGS-B with
+    non-negativity bounds on the alpha/beta parameters and gamma in [1, 10].
+    Parameters pinned by the exploration priors are held at zero and excluded
+    from the optimization.
+
+    Args:
+        observations: Profile entries collected during training.
+        exploration: Exploration state controlling the Sec. 4.1 priors.  When
+            ``None``, all parameters are free.
+        initial: Optional warm-start parameters (e.g. the previous fit).
+        num_restarts: Number of random restarts in addition to the warm start.
+        seed: Seed for the random restarts.
+
+    Returns:
+        The fitted :class:`ThroughputParams`.
+
+    Raises:
+        ValueError: If no observations are provided.
+    """
+    obs = list(observations)
+    if not obs:
+        raise ValueError("cannot fit throughput model with no observations")
+
+    nodes = np.array([o.num_nodes for o in obs], dtype=float)
+    gpus = np.array([o.num_gpus for o in obs], dtype=float)
+    batch = np.array([o.batch_size for o in obs], dtype=float)
+    t_obs = np.array([o.t_iter for o in obs], dtype=float)
+
+    pinned = exploration.pinned_params() if exploration is not None else ()
+    free_names = [n for n in _PARAM_NAMES if n not in pinned]
+    free_idx = np.array([_PARAM_NAMES.index(n) for n in free_names], dtype=int)
+
+    base = np.zeros(len(_PARAM_NAMES), dtype=float)
+    base[-1] = GAMMA_MIN  # gamma placeholder; always a free parameter
+
+    # Scale-aware initial guesses: alpha_grad near the smallest observed
+    # iteration time, beta_grad near t_iter / local batch size.
+    t_min = float(np.min(t_obs))
+    local_bsz = batch / gpus
+    beta_guess = float(np.median(t_obs / np.maximum(local_bsz, 1e-9)))
+    default = {
+        "alpha_grad": 0.5 * t_min,
+        "beta_grad": 0.5 * beta_guess,
+        "alpha_sync_local": 0.1 * t_min,
+        "beta_sync_local": 0.01 * t_min,
+        "alpha_sync_node": 0.2 * t_min,
+        "beta_sync_node": 0.01 * t_min,
+        "gamma": 2.0,
+    }
+
+    bounds = []
+    for name in free_names:
+        if name == "gamma":
+            bounds.append((GAMMA_MIN, GAMMA_MAX))
+        else:
+            bounds.append((0.0, None))
+
+    starts: List[np.ndarray] = []
+    if initial is not None:
+        starts.append(initial.as_vector()[free_idx])
+    starts.append(np.array([default[n] for n in free_names], dtype=float))
+    rng = np.random.default_rng(seed)
+    for _ in range(num_restarts):
+        jitter = rng.lognormal(mean=0.0, sigma=1.0, size=len(free_names))
+        start = np.array([default[n] for n in free_names], dtype=float) * jitter
+        if "gamma" in free_names:
+            gidx = free_names.index("gamma")
+            start[gidx] = rng.uniform(GAMMA_MIN, GAMMA_MAX)
+        starts.append(start)
+
+    best_vec: Optional[np.ndarray] = None
+    best_loss = np.inf
+    args = (free_idx, base, nodes, gpus, batch, np.log(t_obs))
+    for start in starts:
+        clipped = np.clip(
+            start,
+            [b[0] for b in bounds],
+            [b[1] if b[1] is not None else np.inf for b in bounds],
+        )
+        result = minimize(
+            _rmsle,
+            clipped,
+            args=args,
+            method="L-BFGS-B",
+            bounds=bounds,
+            options={"maxiter": 60},
+        )
+        if result.fun < best_loss:
+            best_loss = float(result.fun)
+            best_vec = np.asarray(result.x, dtype=float)
+
+    assert best_vec is not None
+    full = base.copy()
+    full[free_idx] = np.abs(best_vec)
+    full[-1] = float(np.clip(full[-1], GAMMA_MIN, GAMMA_MAX))
+    return ThroughputParams.from_vector(full)

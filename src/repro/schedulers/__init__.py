@@ -1,0 +1,15 @@
+"""Scheduling policies: Pollux and the paper's baselines."""
+
+from .pollux import PolluxAutoscalerHook, PolluxScheduler
+from .optimus import OptimusScheduler
+from .orelastic import OrElasticAutoscaler, OrElasticScheduler
+from .tiresias import TiresiasScheduler
+
+__all__ = [
+    "PolluxAutoscalerHook",
+    "PolluxScheduler",
+    "OptimusScheduler",
+    "OrElasticAutoscaler",
+    "OrElasticScheduler",
+    "TiresiasScheduler",
+]

@@ -1,0 +1,101 @@
+"""Pollux scheduling policy adapter for the simulator.
+
+Bridges the simulator's :class:`~repro.sim.simulator.Scheduler` protocol to
+:class:`~repro.core.sched.PolluxSched`, and provides the goodput-based cloud
+auto-scaling hook of Sec. 4.2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.spec import ClusterSpec
+from ..core.autoscale import AutoscaleConfig, UtilityAutoscaler
+from ..core.sched import PolluxSched, PolluxSchedConfig, SchedJobInfo
+from ..sim.job import SimJob
+
+__all__ = ["PolluxScheduler", "PolluxAutoscalerHook"]
+
+
+def _job_infos(jobs: Sequence[SimJob]) -> List[SchedJobInfo]:
+    return [
+        SchedJobInfo(
+            job_id=job.name,
+            report=job.agent.report(),
+            current_alloc=job.allocation,
+            gputime=job.gputime,
+        )
+        for job in jobs
+    ]
+
+
+class PolluxScheduler:
+    """The co-adaptive Pollux policy (Sec. 4)."""
+
+    name = "pollux"
+    adapts_batch_size = True
+    needs_agent = True
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        config: Optional[PolluxSchedConfig] = None,
+        seed: int = 0,
+    ):
+        self.sched = PolluxSched(cluster, config, seed=seed)
+
+    def schedule(
+        self,
+        now: float,
+        jobs: Sequence[SimJob],
+        cluster: ClusterSpec,
+    ) -> Dict[str, np.ndarray]:
+        del now
+        self.sched.set_cluster(cluster)
+        return self.sched.optimize(_job_infos(jobs))
+
+    def current_utility(self, jobs: Sequence[SimJob]) -> float:
+        """UTILITY(A) of the currently applied allocations (Eqn. 17)."""
+        if not jobs:
+            return 0.0
+        infos = _job_infos(jobs)
+        matrix = np.stack([job.allocation for job in jobs])
+        return self.sched.utility(infos, matrix)
+
+
+class PolluxAutoscalerHook:
+    """Simulator autoscaler hook wrapping :class:`UtilityAutoscaler`."""
+
+    def __init__(
+        self,
+        config: AutoscaleConfig,
+        interval: float = 600.0,
+        gpus_per_node: int = 4,
+        sched_config: Optional[PolluxSchedConfig] = None,
+        seed: int = 0,
+    ):
+        self.interval = float(interval)
+        self.autoscaler = UtilityAutoscaler(
+            config,
+            sched_config=sched_config,
+            gpus_per_node=gpus_per_node,
+            seed=seed,
+        )
+
+    def decide(
+        self,
+        now: float,
+        jobs: Sequence[SimJob],
+        cluster: ClusterSpec,
+        scheduler: PolluxScheduler,
+    ) -> int:
+        del now
+        if not jobs:
+            return self.autoscaler.config.min_nodes
+        utility = scheduler.current_utility(jobs)
+        decision = self.autoscaler.decide(
+            cluster.num_nodes, utility, _job_infos(jobs)
+        )
+        return decision.num_nodes

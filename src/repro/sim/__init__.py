@@ -1,0 +1,18 @@
+"""Discrete-time cluster simulation (Sec. 5.3)."""
+
+from .job import JobPhase, SimJob
+from .metrics import JobRecord, SimResult, TimelineSample, average_summaries
+from .simulator import ClusterAutoscaler, Scheduler, SimConfig, Simulator
+
+__all__ = [
+    "JobPhase",
+    "SimJob",
+    "JobRecord",
+    "SimResult",
+    "TimelineSample",
+    "average_summaries",
+    "ClusterAutoscaler",
+    "Scheduler",
+    "SimConfig",
+    "Simulator",
+]

@@ -1,0 +1,179 @@
+"""Simulated job state for the discrete-time cluster simulator (Sec. 5.3)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from ..core.agent import PolluxAgent
+from ..core.efficiency import efficiency as efficiency_fn
+from ..workload.trace import JobSpec
+
+__all__ = ["JobPhase", "SimJob"]
+
+
+class JobPhase(enum.Enum):
+    """Lifecycle of a simulated job."""
+
+    PENDING = "pending"  # submitted, not yet holding GPUs
+    RUNNING = "running"  # holding GPUs, making progress
+    RESTARTING = "restarting"  # holding GPUs, paused for checkpoint-restart
+    COMPLETE = "complete"
+
+
+class SimJob:
+    """Runtime state of one job inside the simulator.
+
+    Progress is measured in m0-equivalent ("statistical") samples; the job
+    completes when progress reaches ``spec.model.target_samples``.  The
+    ground-truth goodput at any instant is
+    THROUGHPUT_true(a, m) * EFFICIENCY_true(m) with phi_true evaluated at
+    the job's current progress fraction.
+    """
+
+    def __init__(self, spec: JobSpec, num_nodes: int, agent_seed: int = 0):
+        self.spec = spec
+        self.model = spec.model
+        self.progress = 0.0
+        self.target = spec.model.target_samples
+        self.allocation = np.zeros(num_nodes, dtype=np.int64)
+        self.batch_size = float(spec.model.init_batch_size)
+        self.gputime = 0.0
+        self.submission_time = spec.submission_time
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.restart_until = 0.0
+        self.num_restarts = 0
+        self.agent = PolluxAgent(
+            init_batch_size=float(spec.model.init_batch_size),
+            init_lr=spec.model.init_lr,
+            limits=spec.model.limits,
+            profile_noise_key=agent_seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_gpus(self) -> int:
+        """Total GPUs currently held."""
+        return int(self.allocation.sum())
+
+    @property
+    def num_nodes_occupied(self) -> int:
+        """Physical nodes currently hosting at least one replica."""
+        return int((self.allocation > 0).sum())
+
+    @property
+    def is_distributed(self) -> bool:
+        """Whether the job spans two or more nodes (interference-relevant)."""
+        return self.num_nodes_occupied >= 2
+
+    @property
+    def complete(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def progress_fraction(self) -> float:
+        """Fraction of the statistical work completed, in [0, 1]."""
+        return min(self.progress / self.target, 1.0)
+
+    def phase(self, now: float) -> JobPhase:
+        if self.complete:
+            return JobPhase.COMPLETE
+        if self.num_gpus == 0:
+            return JobPhase.PENDING
+        if now < self.restart_until:
+            return JobPhase.RESTARTING
+        return JobPhase.RUNNING
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+
+    def phi_true(self) -> float:
+        """Ground-truth gradient noise scale at the current progress."""
+        return float(self.model.gns.phi(self.progress_fraction))
+
+    def efficiency_true(self, batch_size: Optional[float] = None) -> float:
+        """Ground-truth EFFICIENCY_t(m) at the current progress."""
+        m = self.batch_size if batch_size is None else batch_size
+        return float(
+            efficiency_fn(self.phi_true(), float(self.model.init_batch_size), m)
+        )
+
+    def throughput_true(self, slowdown: float = 0.0) -> float:
+        """Ground-truth throughput (samples/s) of the current configuration.
+
+        Args:
+            slowdown: Fractional slowdown from network interference in
+                [0, 1) (Sec. 5.3.2), applied multiplicatively.
+        """
+        if self.num_gpus == 0:
+            return 0.0
+        tput = float(
+            self.model.throughput_true.throughput(
+                self.num_nodes_occupied, self.num_gpus, self.batch_size
+            )
+        )
+        return tput * (1.0 - slowdown)
+
+    def goodput_true(self, slowdown: float = 0.0) -> float:
+        """Ground-truth goodput (m0-equivalent samples/s)."""
+        return self.throughput_true(slowdown) * self.efficiency_true()
+
+    def t_iter_true(self, slowdown: float = 0.0) -> float:
+        """Ground-truth time per iteration for the current configuration."""
+        if self.num_gpus == 0:
+            raise RuntimeError("job holds no GPUs")
+        t = float(
+            self.model.throughput_true.t_iter(
+                self.num_nodes_occupied, self.num_gpus, self.batch_size
+            )
+        )
+        if slowdown > 0:
+            t = t / (1.0 - slowdown)
+        return t
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def apply_allocation(
+        self, alloc: np.ndarray, now: float, restart_delay: float
+    ) -> None:
+        """Apply a (possibly changed) allocation from the scheduler.
+
+        A change while the job is running requires a checkpoint-restart: the
+        job pauses for ``restart_delay`` seconds (Sec. 5.3, simulator
+        fidelity).  The very first transition from zero GPUs to a non-empty
+        allocation is a cold start and also pays the delay.
+        """
+        alloc = np.asarray(alloc, dtype=np.int64)
+        if alloc.shape != self.allocation.shape:
+            raise ValueError(
+                f"allocation shape {alloc.shape} != {self.allocation.shape}"
+            )
+        if np.array_equal(alloc, self.allocation):
+            return
+        was_running = self.num_gpus > 0
+        self.allocation = alloc.copy()
+        if self.num_gpus > 0:
+            self.restart_until = now + restart_delay
+            if was_running:
+                self.num_restarts += 1
+            if self.start_time is None:
+                self.start_time = now
+
+    def jct(self) -> float:
+        """Job completion time (submission to finish), in seconds."""
+        if self.finish_time is None:
+            raise RuntimeError(f"job {self.name} has not finished")
+        return self.finish_time - self.submission_time

@@ -1,0 +1,343 @@
+"""Discrete-time cluster simulator (Sec. 5.3).
+
+Reproduces the paper's simulator semantics:
+
+- jobs progress at their ground-truth goodput (throughput x statistical
+  efficiency, with phi_true evolving over each job's lifetime);
+- the scheduler is invoked at a fixed interval (60 s in the paper) and each
+  job's agent re-tunes its batch size at a fixed interval (30 s);
+- every re-allocation pauses the job for a checkpoint-restart delay (30 s);
+- optional network interference slows down distributed jobs sharing a node
+  (Sec. 5.3.2);
+- an optional autoscaler hook grows/shrinks the cluster (Sec. 4.2.2/5.3.3).
+
+Completion times are interpolated within a tick, so tick granularity does
+not quantize JCTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..cluster.spec import ClusterSpec
+from ..workload.trace import JobSpec
+from .job import JobPhase, SimJob
+from .metrics import JobRecord, SimResult, TimelineSample
+
+__all__ = ["SimConfig", "Scheduler", "ClusterAutoscaler", "Simulator"]
+
+
+class Scheduler(Protocol):
+    """Scheduling policy interface.
+
+    ``schedule`` returns a mapping from job name to allocation vector for
+    the *active* (submitted, unfinished) jobs; omitted jobs keep their
+    current allocation.  ``adapts_batch_size`` tells the simulator whether
+    jobs should let their PolluxAgent re-tune the batch size (Pollux) or
+    keep the user-fixed batch size (baselines).
+    """
+
+    name: str
+    adapts_batch_size: bool
+    needs_agent: bool
+
+    def schedule(
+        self,
+        now: float,
+        jobs: Sequence[SimJob],
+        cluster: ClusterSpec,
+    ) -> Dict[str, np.ndarray]:
+        ...
+
+
+class ClusterAutoscaler(Protocol):
+    """Cloud auto-scaling hook (Sec. 4.2.2)."""
+
+    interval: float
+
+    def decide(
+        self,
+        now: float,
+        jobs: Sequence[SimJob],
+        cluster: ClusterSpec,
+        scheduler: Scheduler,
+    ) -> int:
+        """Return the desired number of nodes."""
+        ...
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator parameters (defaults follow Sec. 5.1)."""
+
+    tick_seconds: float = 30.0
+    scheduling_interval: float = 60.0
+    agent_interval: float = 30.0
+    restart_delay: float = 30.0
+    interference_slowdown: float = 0.0
+    max_hours: float = 200.0
+    profile_noise: float = 0.03
+    gns_noise: float = 0.10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
+        if self.scheduling_interval < self.tick_seconds:
+            raise ValueError("scheduling_interval must be >= tick_seconds")
+        if not (0.0 <= self.interference_slowdown < 1.0):
+            raise ValueError("interference_slowdown must be in [0, 1)")
+        if self.max_hours <= 0:
+            raise ValueError("max_hours must be positive")
+
+
+class Simulator:
+    """Drives a workload trace through a scheduling policy."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        scheduler: Scheduler,
+        jobs: Sequence[JobSpec],
+        config: SimConfig = SimConfig(),
+        autoscaler: Optional[ClusterAutoscaler] = None,
+    ):
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.config = config
+        self.autoscaler = autoscaler
+        self._rng = np.random.default_rng(config.seed)
+        self.jobs = [
+            SimJob(spec, cluster.num_nodes, agent_seed=config.seed + idx)
+            for idx, spec in enumerate(
+                sorted(jobs, key=lambda s: (s.submission_time, s.name))
+            )
+        ]
+        for job in self.jobs:
+            if not self.scheduler.adapts_batch_size:
+                job.batch_size = float(job.spec.fixed_batch_size)
+        self.now = 0.0
+        self._next_schedule = 0.0
+        self._next_agent = 0.0
+        self._next_autoscale = 0.0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def active_jobs(self) -> List[SimJob]:
+        """Submitted, unfinished jobs."""
+        return [
+            j
+            for j in self.jobs
+            if j.submission_time <= self.now and not j.complete
+        ]
+
+    def _interference_slowdowns(self, jobs: Sequence[SimJob]) -> Dict[str, float]:
+        """Per-job slowdown from distributed jobs sharing nodes (Sec. 5.3.2)."""
+        slowdown = self.config.interference_slowdown
+        result = {job.name: 0.0 for job in jobs}
+        if slowdown <= 0.0:
+            return result
+        distributed = [j for j in jobs if j.is_distributed and j.num_gpus > 0]
+        if len(distributed) < 2:
+            return result
+        per_node: Dict[int, List[SimJob]] = {}
+        for job in distributed:
+            for node in np.nonzero(job.allocation)[0]:
+                per_node.setdefault(int(node), []).append(job)
+        for node_jobs in per_node.values():
+            if len(node_jobs) >= 2:
+                for job in node_jobs:
+                    result[job.name] = slowdown
+        return result
+
+    def _apply_allocations(
+        self, allocations: Dict[str, np.ndarray], jobs: Sequence[SimJob]
+    ) -> None:
+        for job in jobs:
+            alloc = allocations.get(job.name)
+            if alloc is not None:
+                job.apply_allocation(alloc, self.now, self.config.restart_delay)
+
+    def _resize_cluster(self, num_nodes: int, jobs: Sequence[SimJob]) -> None:
+        """Grow or shrink the cluster; jobs on dropped nodes restart."""
+        if num_nodes == self.cluster.num_nodes:
+            return
+        old_nodes = self.cluster.num_nodes
+        self.cluster = self.cluster.resized(num_nodes)
+        for job in self.jobs:
+            old_alloc = job.allocation
+            new_alloc = np.zeros(num_nodes, dtype=np.int64)
+            keep = min(old_nodes, num_nodes)
+            new_alloc[:keep] = old_alloc[:keep]
+            if new_alloc.shape != old_alloc.shape or not np.array_equal(
+                new_alloc[:keep], old_alloc[:keep]
+            ) or old_alloc[keep:].sum() > 0:
+                # Reshape in place; trigger restart only if GPUs were lost.
+                lost = old_alloc[keep:].sum() > 0
+                job.allocation = new_alloc
+                if lost and job.num_gpus > 0:
+                    job.restart_until = self.now + self.config.restart_delay
+                    job.num_restarts += 1
+
+    def _tune_batch_sizes(self, jobs: Sequence[SimJob]) -> None:
+        """Let each running Pollux job's agent re-tune its batch size."""
+        for job in jobs:
+            if job.num_gpus == 0:
+                continue
+            try:
+                batch_size, _ = job.agent.tune_batch_size(
+                    job.num_nodes_occupied, job.num_gpus
+                )
+            except ValueError:
+                continue
+            job.batch_size = float(batch_size)
+
+    def _observe(self, job: SimJob, slowdown: float) -> None:
+        """Feed noisy ground-truth measurements to the job's agent."""
+        cfg = self.config
+        t_iter = job.t_iter_true(slowdown)
+        t_obs = t_iter * float(
+            self._rng.lognormal(mean=0.0, sigma=cfg.profile_noise)
+        )
+        job.agent.record_iteration(
+            job.num_nodes_occupied, job.num_gpus, job.batch_size, t_obs
+        )
+        phi_obs = job.phi_true() * float(
+            self._rng.lognormal(mean=0.0, sigma=cfg.gns_noise)
+        )
+        # Decompose phi into (var, sqr) at m0 scale: var = phi / m0, sqr = 1.
+        job.agent.record_grad_stats(
+            var=phi_obs / job.agent.init_batch_size, sqr=1.0
+        )
+
+    def _advance(self, job: SimJob, dt: float, slowdown: float) -> None:
+        """Advance one job by dt seconds of wall-clock time."""
+        if job.num_gpus == 0:
+            return
+        job.gputime += job.num_gpus * dt
+        run_start = max(self.now, job.restart_until)
+        run_time = self.now + dt - run_start
+        if run_time <= 0:
+            return
+        rate = job.goodput_true(slowdown)
+        if rate <= 0:
+            return
+        new_progress = job.progress + rate * run_time
+        if new_progress >= job.target:
+            remaining = job.target - job.progress
+            finish_offset = remaining / rate
+            job.progress = job.target
+            job.finish_time = run_start + finish_offset
+            job.allocation = np.zeros_like(job.allocation)
+        else:
+            job.progress = new_progress
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Run to completion (or the max-hours safety cap)."""
+        cfg = self.config
+        result = SimResult(scheduler_name=self.scheduler.name)
+        max_time = cfg.max_hours * 3600.0
+
+        while self.now < max_time:
+            active = self.active_jobs()
+            if not active and all(
+                j.complete or j.submission_time > self.now for j in self.jobs
+            ):
+                pending_later = [
+                    j for j in self.jobs if j.submission_time > self.now
+                ]
+                if not pending_later:
+                    break
+                # Fast-forward to the next submission.
+                next_submit = min(j.submission_time for j in pending_later)
+                skip = (next_submit - self.now) // cfg.tick_seconds
+                if skip >= 1:
+                    idle = skip * cfg.tick_seconds
+                    result.node_seconds += self.cluster.num_nodes * idle
+                    self.now += idle
+                    self._next_schedule = max(self._next_schedule, self.now)
+                    self._next_agent = max(self._next_agent, self.now)
+                    active = self.active_jobs()
+
+            if self.autoscaler is not None and self.now >= self._next_autoscale:
+                desired = self.autoscaler.decide(
+                    self.now, active, self.cluster, self.scheduler
+                )
+                self._resize_cluster(int(desired), active)
+                self._next_autoscale = self.now + self.autoscaler.interval
+
+            if self.now >= self._next_schedule:
+                allocations = self.scheduler.schedule(self.now, active, self.cluster)
+                self._apply_allocations(allocations, active)
+                self._next_schedule = self.now + cfg.scheduling_interval
+                if self.scheduler.adapts_batch_size:
+                    self._tune_batch_sizes(active)
+
+            if self.now >= self._next_agent:
+                if self.scheduler.adapts_batch_size:
+                    self._tune_batch_sizes(active)
+                self._next_agent = self.now + cfg.agent_interval
+
+            slowdowns = self._interference_slowdowns(active)
+            for job in active:
+                slowdown = slowdowns.get(job.name, 0.0)
+                if (
+                    self.scheduler.needs_agent
+                    and job.num_gpus > 0
+                    and self.now >= job.restart_until
+                ):
+                    self._observe(job, slowdown)
+                self._advance(job, cfg.tick_seconds, slowdown)
+
+            running = [
+                j for j in active if j.phase(self.now) == JobPhase.RUNNING
+            ]
+            result.timeline.append(
+                TimelineSample(
+                    time=self.now,
+                    num_nodes=self.cluster.num_nodes,
+                    gpus_in_use=int(sum(j.num_gpus for j in active)),
+                    total_gpus=self.cluster.total_gpus,
+                    running_jobs=len(running),
+                    pending_jobs=sum(
+                        1 for j in active if j.phase(self.now) == JobPhase.PENDING
+                    ),
+                    mean_efficiency=(
+                        float(np.mean([j.efficiency_true() for j in running]))
+                        if running
+                        else 0.0
+                    ),
+                    mean_speedup_utility=0.0,
+                )
+            )
+            result.node_seconds += self.cluster.num_nodes * cfg.tick_seconds
+            self.now += cfg.tick_seconds
+
+            if all(j.complete for j in self.jobs):
+                break
+
+        result.end_time = self.now
+        for job in self.jobs:
+            result.records.append(
+                JobRecord(
+                    name=job.name,
+                    model=job.model.name,
+                    category=job.model.category,
+                    submission_time=job.submission_time,
+                    start_time=job.start_time,
+                    finish_time=job.finish_time,
+                    gputime=job.gputime,
+                    num_restarts=job.num_restarts,
+                    user_configured=job.spec.user_configured,
+                )
+            )
+        return result

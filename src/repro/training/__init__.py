@@ -1,0 +1,28 @@
+"""Numpy data-parallel training substrate with real GNS measurement."""
+
+from .adascale_sgd import AdaScaleSGD, TrainingLog
+from .dataparallel import DataParallelExecutor, StepResult
+from .trainer import ElasticTrainer, TrainerSnapshot
+from .gradstats import DifferencedEstimator, GradStatsEstimate, multi_replica_estimate
+from .problems import (
+    LinearRegressionProblem,
+    LogisticRegressionProblem,
+    MLPProblem,
+    Problem,
+)
+
+__all__ = [
+    "AdaScaleSGD",
+    "TrainingLog",
+    "DataParallelExecutor",
+    "StepResult",
+    "ElasticTrainer",
+    "TrainerSnapshot",
+    "DifferencedEstimator",
+    "GradStatsEstimate",
+    "multi_replica_estimate",
+    "LinearRegressionProblem",
+    "LogisticRegressionProblem",
+    "MLPProblem",
+    "Problem",
+]

@@ -1,0 +1,142 @@
+"""AdaScale SGD on the numpy training substrate (Sec. 2.2).
+
+Implements the AdaScale optimizer [Johnson et al. 2020]: SGD whose learning
+rate at batch size m is eta0 scaled by the gain r_t (Eqn. 5), computed from
+smoothed estimates of the gradient variance and squared norm.  Progress is
+counted in *scale-invariant iterations* — one step at batch size m advances
+the counter by r_t — which is the property that makes statistical efficiency
+measurable and predictable (Appendix A), and therefore what Pollux's
+EFFICIENCY measure is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.adascale import adascale_gain
+from ..core.efficiency import GradientStats
+from .dataparallel import DataParallelExecutor
+from .problems import Problem
+
+__all__ = ["AdaScaleSGD", "TrainingLog"]
+
+
+@dataclass
+class TrainingLog:
+    """Per-iteration records of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    gains: List[float] = field(default_factory=list)
+    noise_scales: List[float] = field(default_factory=list)
+    scale_invariant_iters: List[float] = field(default_factory=list)
+
+
+class AdaScaleSGD:
+    """SGD + AdaScale learning-rate adaptation + GNS tracking.
+
+    Args:
+        problem: The training problem.
+        executor: Data-parallel gradient executor.
+        init_batch_size: The reference batch size m0.
+        init_lr: The reference learning rate eta0 (used at m0).
+        smoothing: EMA smoothing for the gradient statistics.
+        seed: Seed for parameter initialization.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        executor: Optional[DataParallelExecutor] = None,
+        init_batch_size: int = 32,
+        init_lr: float = 0.05,
+        smoothing: float = 0.9,
+        seed: int = 0,
+    ):
+        if init_batch_size < 1:
+            raise ValueError("init_batch_size must be >= 1")
+        if init_lr <= 0:
+            raise ValueError("init_lr must be positive")
+        self.problem = problem
+        self.executor = (
+            executor if executor is not None else DataParallelExecutor(problem)
+        )
+        self.init_batch_size = int(init_batch_size)
+        self.init_lr = float(init_lr)
+        self.grad_stats = GradientStats(smoothing=smoothing)
+        self.params = problem.init_params(np.random.default_rng(seed))
+        self.scale_invariant_iters = 0.0
+        self.samples_processed = 0
+        self.log = TrainingLog()
+
+    @property
+    def noise_scale(self) -> float:
+        """Current smoothed phi_t (0 before statistics accumulate)."""
+        if not self.grad_stats.has_estimate:
+            return 0.0
+        return self.grad_stats.noise_scale(self.init_batch_size)
+
+    def gain(self, batch_size: int) -> float:
+        """AdaScale gain r_t for a step at ``batch_size`` (Eqn. 5)."""
+        return adascale_gain(self.noise_scale, self.init_batch_size, batch_size)
+
+    def step(self, batch_size: Optional[int] = None) -> float:
+        """One training step; returns the mini-batch loss before the update.
+
+        Gradient statistics from the step (multi-replica or differenced,
+        depending on the executor's replica count) are folded into the
+        smoothed estimates *before* computing this step's gain, mirroring
+        AdaScale's online operation.
+        """
+        m = int(batch_size) if batch_size is not None else self.init_batch_size
+        result = self.executor.step(self.params, m)
+        if result.stats is not None and result.stats.sqr > 0:
+            # Normalize the estimate to the m0 reference scale: variance at
+            # batch b scales as 1/b, so var_at_m0 = var_at_b * b / m0.
+            var_m0 = result.stats.var * result.stats.batch_size / self.init_batch_size
+            self.grad_stats.update(var_m0, result.stats.sqr)
+
+        gain = self.gain(result.batch_size)
+        lr = self.init_lr * gain
+        loss_before = self.problem.loss(self.params)
+        self.params = self.params - lr * result.grad
+
+        self.scale_invariant_iters += gain
+        self.samples_processed += result.batch_size
+        self.log.losses.append(loss_before)
+        self.log.batch_sizes.append(result.batch_size)
+        self.log.gains.append(gain)
+        self.log.noise_scales.append(self.noise_scale)
+        self.log.scale_invariant_iters.append(self.scale_invariant_iters)
+        return loss_before
+
+    def train(
+        self,
+        num_iters: int,
+        batch_size: Optional[int] = None,
+    ) -> TrainingLog:
+        """Run ``num_iters`` steps at a fixed batch size; return the log."""
+        for _ in range(num_iters):
+            self.step(batch_size)
+        return self.log
+
+    def train_to_loss(
+        self,
+        target_loss: float,
+        batch_size: Optional[int] = None,
+        max_iters: int = 100_000,
+    ) -> int:
+        """Train until the full-dataset loss reaches ``target_loss``.
+
+        Returns:
+            The number of iterations taken (== ``max_iters`` if the target
+            was not reached).
+        """
+        for iteration in range(1, max_iters + 1):
+            self.step(batch_size)
+            if self.problem.loss(self.params) <= target_loss:
+                return iteration
+        return max_iters

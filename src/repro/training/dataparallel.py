@@ -1,0 +1,106 @@
+"""Emulated data-parallel execution (Sec. 2.1).
+
+Runs K virtual replicas of SGD on a numpy :class:`~repro.training.problems.
+Problem`: each replica computes a local gradient over its partition of the
+mini-batch (Eqn. 4), and an all-reduce averages the local gradients into
+g_hat (Eqn. 3).  The per-replica gradients are exposed so the multi-replica
+gradient-noise estimator can consume them for free, exactly as PolluxAgent
+does in real training (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .gradstats import DifferencedEstimator, GradStatsEstimate, multi_replica_estimate
+from .problems import Problem
+
+__all__ = ["StepResult", "DataParallelExecutor"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Everything one data-parallel iteration produces."""
+
+    grad: np.ndarray
+    local_grads: Tuple[np.ndarray, ...]
+    batch_size: int
+    stats: Optional[GradStatsEstimate]
+
+
+class DataParallelExecutor:
+    """K-replica data-parallel gradient computation with all-reduce.
+
+    Args:
+        problem: The training problem.
+        num_replicas: Number of virtual data-parallel replicas K.
+        seed: Seed for mini-batch sampling.
+    """
+
+    def __init__(self, problem: Problem, num_replicas: int = 1, seed: int = 0):
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.problem = problem
+        self.num_replicas = num_replicas
+        self._rng = np.random.default_rng(seed)
+        self._differenced: Optional[DifferencedEstimator] = None
+
+    def resize(self, num_replicas: int) -> None:
+        """Change the replica count (elastic re-allocation)."""
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.num_replicas = num_replicas
+        # Consecutive-gradient history is invalid across re-allocations.
+        if self._differenced is not None:
+            self._differenced.reset()
+
+    def _sample_batch(self, batch_size: int) -> np.ndarray:
+        return self._rng.choice(
+            self.problem.num_examples, size=batch_size, replace=False
+        )
+
+    def step(self, params: np.ndarray, batch_size: int) -> StepResult:
+        """One data-parallel iteration at the given *total* batch size.
+
+        The batch is split evenly across replicas (the total is rounded up
+        to a multiple of K).  Gradient statistics are estimated with the
+        multi-replica estimator when K >= 2, and with the differenced
+        estimator otherwise (Sec. 3.1).
+        """
+        if batch_size < self.num_replicas:
+            raise ValueError(
+                f"batch_size {batch_size} smaller than replica count "
+                f"{self.num_replicas}"
+            )
+        local_bsz = int(np.ceil(batch_size / self.num_replicas))
+        total = local_bsz * self.num_replicas
+        total = min(total, self.problem.num_examples)
+        local_bsz = total // self.num_replicas
+        total = local_bsz * self.num_replicas
+
+        indices = self._sample_batch(total)
+        partitions = indices.reshape(self.num_replicas, local_bsz)
+        local_grads: List[np.ndarray] = [
+            self.problem.gradient(params, part) for part in partitions
+        ]
+        grad = np.mean(local_grads, axis=0)
+
+        stats: Optional[GradStatsEstimate]
+        if self.num_replicas >= 2:
+            stats = multi_replica_estimate(local_grads, local_bsz)
+        else:
+            if (
+                self._differenced is None
+                or self._differenced.batch_size != total
+            ):
+                self._differenced = DifferencedEstimator(total)
+            stats = self._differenced.update(grad)
+        return StepResult(
+            grad=grad,
+            local_grads=tuple(local_grads),
+            batch_size=total,
+            stats=stats,
+        )

@@ -1,0 +1,149 @@
+"""Gradient-statistics estimators for the noise scale (Sec. 3.1).
+
+Pollux needs sigma_t^2 (gradient variance) and mu_t^2 (squared gradient
+norm) to compute phi_t = m0 sigma^2 / mu^2.  Two estimators are used:
+
+**Multi-replica estimator** — the standard approach [McCandlish et al.;
+AdaScale]: with K data-parallel replicas each computing a local gradient
+g_k over b_small samples, the sample variance of the g_k estimates the
+per-sample covariance trace, and the squared norm of the averaged gradient,
+bias-corrected, estimates mu^2.  "This can be done efficiently when there
+are multiple data-parallel processes, by using the different values of g_k
+already available on each process."
+
+**Differenced estimator** — when the job runs on a single GPU there is only
+one gradient per iteration, so Pollux "switches to a differenced variance
+estimator [Wang & Yu 2017] which uses consecutive gradient estimates
+g(t-1) and g(t)": assuming the true gradient changes slowly between
+adjacent iterations, Var ~ |g(t) - g(t-1)|^2 / 2 and mu^2 ~ g(t).g(t-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "GradStatsEstimate",
+    "multi_replica_estimate",
+    "DifferencedEstimator",
+]
+
+
+@dataclass(frozen=True)
+class GradStatsEstimate:
+    """One estimate of the gradient statistics at a reference batch size.
+
+    Attributes:
+        var: Estimated Var[g_hat] at ``batch_size`` (i.e. trace of the
+            per-sample covariance divided by ``batch_size``).
+        sqr: Estimated |E[g_hat]|^2.
+        batch_size: The batch size the variance refers to.
+    """
+
+    var: float
+    sqr: float
+    batch_size: float
+
+    def noise_scale(self) -> float:
+        """phi = batch_size * var / sqr, clamped to be non-negative."""
+        if self.sqr <= 0:
+            return float("inf")
+        return max(0.0, self.batch_size * self.var / self.sqr)
+
+
+def multi_replica_estimate(
+    local_grads: Sequence[np.ndarray],
+    local_batch_size: int,
+) -> GradStatsEstimate:
+    """Estimate gradient statistics from K >= 2 per-replica gradients.
+
+    Args:
+        local_grads: K local gradient vectors, each computed over
+            ``local_batch_size`` examples.
+        local_batch_size: Per-replica batch size b_small.
+
+    Returns:
+        A :class:`GradStatsEstimate` referenced to the *global* batch size
+        K * b_small: ``var`` estimates Var[g_hat] at the global batch and
+        ``sqr`` estimates |E[g_hat]|^2 (both unbiased under the usual
+        i.i.d.-sampling assumptions).
+
+    Raises:
+        ValueError: If fewer than two replicas are provided.
+    """
+    grads = [np.asarray(g, dtype=float).ravel() for g in local_grads]
+    num_replicas = len(grads)
+    if num_replicas < 2:
+        raise ValueError(
+            "multi-replica estimation needs >= 2 replicas; use "
+            "DifferencedEstimator for a single replica"
+        )
+    if local_batch_size < 1:
+        raise ValueError("local_batch_size must be >= 1")
+    stacked = np.stack(grads)
+    avg = stacked.mean(axis=0)
+    global_batch = num_replicas * local_batch_size
+
+    # E |g_k - g_avg|^2 summed over k equals (K-1) * trace(Sigma)/b_small,
+    # so the sample variance estimates trace(Sigma)/b_small.
+    centered = stacked - avg[None, :]
+    var_small = float((centered * centered).sum() / (num_replicas - 1))
+    # Var at the global batch: trace(Sigma) / (K * b_small).
+    var_big = var_small / num_replicas
+    # |g_avg|^2 is biased upward by Var at the global batch.
+    sqr = float(avg @ avg) - var_big
+    return GradStatsEstimate(
+        var=max(var_big, 0.0), sqr=max(sqr, 0.0), batch_size=float(global_batch)
+    )
+
+
+class DifferencedEstimator:
+    """Single-replica gradient statistics from consecutive gradients.
+
+    Implements the differenced variance estimator [Wang & Yu 2017] Pollux
+    falls back to when a job runs in a single process (Sec. 3.1): feed each
+    iteration's gradient via :meth:`update`; estimates become available
+    after two gradients.
+    """
+
+    def __init__(self, batch_size: int):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+        self._prev: Optional[np.ndarray] = None
+        self._estimate: Optional[GradStatsEstimate] = None
+
+    def update(self, grad: np.ndarray) -> Optional[GradStatsEstimate]:
+        """Feed the current iteration's gradient; return an estimate if
+        two consecutive gradients are available."""
+        grad = np.asarray(grad, dtype=float).ravel()
+        estimate = None
+        if self._prev is not None:
+            if self._prev.shape != grad.shape:
+                raise ValueError("gradient dimensionality changed")
+            diff = grad - self._prev
+            # E |g_t - g_{t-1}|^2 = 2 Var[g_hat] when the true gradient is
+            # locally constant; the cross term estimates mu^2 unbiasedly.
+            var = float(diff @ diff) / 2.0
+            sqr = float(grad @ self._prev)
+            estimate = GradStatsEstimate(
+                var=max(var, 0.0),
+                sqr=max(sqr, 0.0),
+                batch_size=float(self.batch_size),
+            )
+            self._estimate = estimate
+        self._prev = grad
+        return estimate
+
+    @property
+    def latest(self) -> Optional[GradStatsEstimate]:
+        """Most recent estimate, or None before two gradients were seen."""
+        return self._estimate
+
+    def reset(self) -> None:
+        """Forget history (e.g. after a re-allocation restart)."""
+        self._prev = None
+        self._estimate = None

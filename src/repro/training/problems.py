@@ -1,0 +1,213 @@
+"""Synthetic optimization problems with per-example gradients.
+
+The paper's PolluxAgent instruments *real* training (PyTorch, Sec. 4.3).  We
+have no GPUs, so this substrate provides numpy optimization problems —
+linear regression, logistic regression, and a small MLP with manual
+backpropagation — whose per-example gradients are exact, making them ideal
+test beds for the gradient-noise-scale estimators and AdaScale SGD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Problem",
+    "LinearRegressionProblem",
+    "LogisticRegressionProblem",
+    "MLPProblem",
+]
+
+
+class Problem:
+    """Interface for a differentiable training problem.
+
+    Parameters are a flat float vector.  Implementations provide full-batch
+    loss, mini-batch gradients, and (optionally) per-example gradients.
+    """
+
+    num_examples: int
+    dim: int
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        """A fresh parameter vector."""
+        raise NotImplementedError
+
+    def loss(self, params: np.ndarray, indices: Optional[np.ndarray] = None) -> float:
+        """Mean loss over the given example indices (all if ``None``)."""
+        raise NotImplementedError
+
+    def gradient(self, params: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Mean gradient over the given example indices."""
+        raise NotImplementedError
+
+    def per_example_gradients(
+        self, params: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        """(len(indices), dim) array of per-example gradients."""
+        raise NotImplementedError
+
+
+@dataclass
+class LinearRegressionProblem(Problem):
+    """y = X w* + noise, squared loss.
+
+    The true gradient noise scale is analytically tractable here, which the
+    estimator tests exploit: per-example gradient g_i = (x_i.w - y_i) x_i.
+    """
+
+    num_examples: int = 4096
+    dim: int = 32
+    noise_std: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.features = rng.normal(size=(self.num_examples, self.dim))
+        self.true_params = rng.normal(size=self.dim)
+        self.targets = self.features @ self.true_params + rng.normal(
+            scale=self.noise_std, size=self.num_examples
+        )
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(scale=0.1, size=self.dim)
+
+    def _residuals(self, params: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        return self.features[indices] @ params - self.targets[indices]
+
+    def loss(self, params: np.ndarray, indices: Optional[np.ndarray] = None) -> float:
+        if indices is None:
+            indices = np.arange(self.num_examples)
+        res = self._residuals(params, indices)
+        return float(0.5 * np.mean(res * res))
+
+    def gradient(self, params: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        res = self._residuals(params, indices)
+        return self.features[indices].T @ res / len(indices)
+
+    def per_example_gradients(
+        self, params: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        res = self._residuals(params, indices)
+        return self.features[indices] * res[:, None]
+
+
+@dataclass
+class LogisticRegressionProblem(Problem):
+    """Binary logistic regression on a separable-with-noise dataset."""
+
+    num_examples: int = 4096
+    dim: int = 16
+    margin_noise: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.features = rng.normal(size=(self.num_examples, self.dim))
+        direction = rng.normal(size=self.dim)
+        direction /= np.linalg.norm(direction)
+        logits = self.features @ direction + rng.normal(
+            scale=self.margin_noise, size=self.num_examples
+        )
+        self.labels = (logits > 0).astype(float)
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(scale=0.01, size=self.dim)
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def loss(self, params: np.ndarray, indices: Optional[np.ndarray] = None) -> float:
+        if indices is None:
+            indices = np.arange(self.num_examples)
+        z = self.features[indices] @ params
+        y = self.labels[indices]
+        # Numerically stable log-loss.
+        loss = np.maximum(z, 0) - z * y + np.log1p(np.exp(-np.abs(z)))
+        return float(np.mean(loss))
+
+    def gradient(self, params: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        z = self.features[indices] @ params
+        err = self._sigmoid(z) - self.labels[indices]
+        return self.features[indices].T @ err / len(indices)
+
+    def per_example_gradients(
+        self, params: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        z = self.features[indices] @ params
+        err = self._sigmoid(z) - self.labels[indices]
+        return self.features[indices] * err[:, None]
+
+
+@dataclass
+class MLPProblem(Problem):
+    """One-hidden-layer tanh MLP regression with manual backprop."""
+
+    num_examples: int = 2048
+    input_dim: int = 8
+    hidden_dim: int = 16
+    noise_std: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.features = rng.normal(size=(self.num_examples, self.input_dim))
+        # A random teacher MLP generates the targets.
+        w1 = rng.normal(size=(self.input_dim, self.hidden_dim))
+        w2 = rng.normal(size=self.hidden_dim)
+        self.targets = np.tanh(self.features @ w1) @ w2 + rng.normal(
+            scale=self.noise_std, size=self.num_examples
+        )
+        self.dim = self.input_dim * self.hidden_dim + self.hidden_dim
+
+    def init_params(self, rng: np.random.Generator) -> np.ndarray:
+        scale = 1.0 / np.sqrt(self.input_dim)
+        return rng.normal(scale=scale, size=self.dim)
+
+    def _unpack(self, params: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        split = self.input_dim * self.hidden_dim
+        w1 = params[:split].reshape(self.input_dim, self.hidden_dim)
+        w2 = params[split:]
+        return w1, w2
+
+    def _forward(
+        self, params: np.ndarray, indices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        w1, w2 = self._unpack(params)
+        x = self.features[indices]
+        hidden = np.tanh(x @ w1)
+        pred = hidden @ w2
+        return x, hidden, pred
+
+    def loss(self, params: np.ndarray, indices: Optional[np.ndarray] = None) -> float:
+        if indices is None:
+            indices = np.arange(self.num_examples)
+        _, _, pred = self._forward(params, indices)
+        res = pred - self.targets[indices]
+        return float(0.5 * np.mean(res * res))
+
+    def per_example_gradients(
+        self, params: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        w1, w2 = self._unpack(params)
+        x, hidden, pred = self._forward(params, indices)
+        res = pred - self.targets[indices]  # (B,)
+        # d loss_i / d w2 = res_i * hidden_i
+        grad_w2 = hidden * res[:, None]  # (B, H)
+        # d loss_i / d w1 = res_i * x_i (outer) (w2 * (1 - hidden^2))
+        back = (1.0 - hidden * hidden) * w2[None, :] * res[:, None]  # (B, H)
+        grad_w1 = x[:, :, None] * back[:, None, :]  # (B, D, H)
+        flat_w1 = grad_w1.reshape(len(indices), -1)
+        return np.concatenate([flat_w1, grad_w2], axis=1)
+
+    def gradient(self, params: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        return self.per_example_gradients(params, indices).mean(axis=0)

@@ -1,0 +1,181 @@
+"""Elastic training driver instrumented by a PolluxAgent (Sec. 4.3).
+
+The paper implements PolluxAgent as "a Python library which is imported
+into DL training code": it profiles each iteration's wall-clock time,
+computes the gradient noise scale from the (already available) per-replica
+gradients, periodically fits the throughput model, and re-tunes the batch
+size and learning rate for the current allocation.
+
+:class:`ElasticTrainer` does exactly that on the numpy substrate: it runs
+AdaScale SGD under a given (replica count) allocation, feeds measurements to
+a real :class:`~repro.core.agent.PolluxAgent`, and exposes the agent's
+report so a PolluxSched instance can re-allocate it — closing the full
+co-adaptive loop without any GPUs.
+
+Iteration wall-clock times are *synthesized* from a ground-truth throughput
+model (numpy SGD steps on a laptop do not have data-parallel timing
+behaviour), while all statistical quantities (gradients, noise scale,
+progress) are computed for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.agent import PolluxAgent
+from ..core.goodput import BatchSizeLimits
+from ..core.throughput import ThroughputModel, ThroughputParams
+from .adascale_sgd import AdaScaleSGD
+from .dataparallel import DataParallelExecutor
+from .problems import Problem
+
+__all__ = ["ElasticTrainer", "TrainerSnapshot"]
+
+
+@dataclass(frozen=True)
+class TrainerSnapshot:
+    """State captured after each re-tuning round."""
+
+    iteration: int
+    num_replicas: int
+    batch_size: int
+    learning_rate: float
+    noise_scale: float
+    loss: float
+
+
+class ElasticTrainer:
+    """AdaScale SGD + PolluxAgent instrumentation + elastic re-allocation.
+
+    Args:
+        problem: The optimization problem to train.
+        theta_true: Ground-truth timing model used to synthesize per-
+            iteration wall-clock times for the agent's profile.
+        init_batch_size: m0.
+        init_lr: eta0.
+        max_batch_size: Application-level batch size cap.
+        max_local_bsz: Per-replica batch cap (the "GPU memory" limit).
+        gpus_per_node: Used to derive node counts from replica counts when
+            synthesizing timings.
+        seed: Seed for training and measurement noise.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        theta_true: ThroughputParams,
+        init_batch_size: int = 32,
+        init_lr: float = 0.02,
+        max_batch_size: int = 4096,
+        max_local_bsz: int = 512,
+        gpus_per_node: int = 4,
+        timing_noise: float = 0.03,
+        seed: int = 0,
+    ):
+        self.problem = problem
+        self.timing_model = ThroughputModel(theta_true)
+        self.gpus_per_node = gpus_per_node
+        self.timing_noise = timing_noise
+        self._rng = np.random.default_rng(seed)
+        limits = BatchSizeLimits(
+            init_batch_size=float(init_batch_size),
+            max_batch_size=float(max_batch_size),
+            max_local_bsz=float(max_local_bsz),
+        )
+        self.agent = PolluxAgent(
+            init_batch_size=float(init_batch_size),
+            init_lr=float(init_lr),
+            limits=limits,
+            profile_noise_key=seed,
+        )
+        self.executor = DataParallelExecutor(problem, num_replicas=1, seed=seed)
+        self.optimizer = AdaScaleSGD(
+            problem,
+            self.executor,
+            init_batch_size=init_batch_size,
+            init_lr=init_lr,
+            seed=seed,
+        )
+        self.batch_size = init_batch_size
+        self.snapshots: List[TrainerSnapshot] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_replicas(self) -> int:
+        return self.executor.num_replicas
+
+    def _num_nodes(self) -> int:
+        return max(1, int(np.ceil(self.num_replicas / self.gpus_per_node)))
+
+    def reallocate(self, num_replicas: int) -> None:
+        """Apply a new allocation (e.g. from PolluxSched) and re-tune."""
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.executor.resize(num_replicas)
+        self.retune()
+
+    def retune(self) -> Tuple[int, float]:
+        """Re-tune the batch size and LR for the current allocation."""
+        try:
+            batch_size, lr = self.agent.tune_batch_size(
+                self._num_nodes(), self.num_replicas
+            )
+        except ValueError:
+            return self.batch_size, self.optimizer.init_lr
+        # Keep the batch size a multiple of the replica count.
+        self.batch_size = max(
+            self.num_replicas,
+            int(round(batch_size / self.num_replicas)) * self.num_replicas,
+        )
+        return self.batch_size, lr
+
+    def _record_timing(self) -> None:
+        t_true = float(
+            self.timing_model.t_iter(
+                self._num_nodes(), self.num_replicas, self.batch_size
+            )
+        )
+        t_obs = t_true * float(self._rng.lognormal(sigma=self.timing_noise))
+        self.agent.record_iteration(
+            self._num_nodes(), self.num_replicas, self.batch_size, t_obs
+        )
+
+    def step(self) -> float:
+        """One instrumented training step; returns the step's loss."""
+        loss = self.optimizer.step(self.batch_size)
+        self._record_timing()
+        # Forward the optimizer's real gradient statistics to the agent.
+        if self.optimizer.grad_stats.has_estimate:
+            self.agent.record_grad_stats(
+                var=self.optimizer.grad_stats.variance,
+                sqr=self.optimizer.grad_stats.sqr_norm,
+            )
+        return loss
+
+    def train(
+        self,
+        num_iters: int,
+        retune_every: int = 25,
+    ) -> List[TrainerSnapshot]:
+        """Train with periodic re-tuning; returns per-round snapshots."""
+        if retune_every < 1:
+            raise ValueError("retune_every must be >= 1")
+        for iteration in range(1, num_iters + 1):
+            loss = self.step()
+            if iteration % retune_every == 0:
+                batch_size, lr = self.retune()
+                self.snapshots.append(
+                    TrainerSnapshot(
+                        iteration=self.optimizer.log.batch_sizes.__len__(),
+                        num_replicas=self.num_replicas,
+                        batch_size=batch_size,
+                        learning_rate=lr,
+                        noise_scale=self.agent.grad_noise_scale,
+                        loss=loss,
+                    )
+                )
+        return self.snapshots

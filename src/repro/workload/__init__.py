@@ -1,0 +1,34 @@
+"""Workload substrate: Table 1 model zoo, job configs, trace generation."""
+
+from .configs import (
+    sample_tuned_config,
+    sample_user_config,
+    true_goodput_model,
+    valid_tuned_configs,
+)
+from .gns import GNSTrajectory
+from .models import (
+    CATEGORY_BOUNDS_GPU_HOURS,
+    MODEL_ZOO,
+    WORKLOAD_FRACTIONS,
+    Category,
+    ModelProfile,
+)
+from .trace import JobSpec, TraceConfig, generate_trace, hourly_submission_weights
+
+__all__ = [
+    "sample_tuned_config",
+    "sample_user_config",
+    "true_goodput_model",
+    "valid_tuned_configs",
+    "GNSTrajectory",
+    "CATEGORY_BOUNDS_GPU_HOURS",
+    "MODEL_ZOO",
+    "WORKLOAD_FRACTIONS",
+    "Category",
+    "ModelProfile",
+    "JobSpec",
+    "TraceConfig",
+    "generate_trace",
+    "hourly_submission_weights",
+]

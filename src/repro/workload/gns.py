@@ -1,0 +1,74 @@
+"""Ground-truth gradient-noise-scale trajectories for workload models.
+
+The paper's simulator replays gradient noise scale values *measured* during
+real training of each model in Table 1 (Sec. 5.3, "Simulating statistical
+efficiency").  We have no GPUs, so we substitute parametric trajectories that
+reproduce the lifetime trends the paper documents (Sec. 2.2, Fig. 2a):
+
+- phi is model-dependent and can vary by orders of magnitude across models;
+- phi is non-constant and tends to gradually *increase* during training, by
+  10x or more [McCandlish et al.];
+- phi jumps up sharply when the learning rate is decayed (Fig. 2a shows the
+  efficiency of large batches rising dramatically at ImageNet's epoch-30 and
+  epoch-60 decays).
+
+A trajectory is exponential growth from ``phi_start`` to ``phi_end`` in the
+progress fraction p in [0, 1], multiplied by step factors at LR-decay
+boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["GNSTrajectory"]
+
+
+@dataclass(frozen=True)
+class GNSTrajectory:
+    """phi_true(progress) for one model.
+
+    Attributes:
+        phi_start: Gradient noise scale at the start of training.
+        phi_end: Gradient noise scale the smooth component reaches at the end
+            of training (before decay-jump factors).
+        decay_jumps: Tuple of (progress, factor) pairs; at each progress
+            point the noise scale is multiplied by ``factor`` (modeling a
+            learning-rate decay).
+    """
+
+    phi_start: float
+    phi_end: float
+    decay_jumps: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.phi_start <= 0 or self.phi_end <= 0:
+            raise ValueError("phi_start and phi_end must be positive")
+        for progress, factor in self.decay_jumps:
+            if not (0.0 < progress < 1.0):
+                raise ValueError(f"jump progress must be in (0, 1), got {progress}")
+            if factor <= 0:
+                raise ValueError(f"jump factor must be positive, got {factor}")
+
+    def phi(self, progress):
+        """Ground-truth noise scale at progress fraction(s) in [0, 1].
+
+        Accepts a scalar or numpy array; progress is clipped to [0, 1].
+        """
+        p = np.clip(np.asarray(progress, dtype=float), 0.0, 1.0)
+        base = self.phi_start * np.power(self.phi_end / self.phi_start, p)
+        factor = np.ones_like(p)
+        for jump_p, jump_f in self.decay_jumps:
+            factor = factor * np.where(p >= jump_p, jump_f, 1.0)
+        out = base * factor
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    @property
+    def final_phi(self) -> float:
+        """phi at the end of training, including all jumps."""
+        return float(self.phi(1.0))

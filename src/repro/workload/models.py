@@ -1,0 +1,281 @@
+"""The Table 1 model zoo with calibrated ground-truth performance profiles.
+
+The paper's evaluation workload (Table 1) trains five model/dataset pairs,
+one per GPU-time category of the Microsoft trace:
+
+==================  =================  =========  ====================
+Model               Dataset            Category   Fraction of workload
+==================  =================  =========  ====================
+ResNet-50           ImageNet           XLarge     2 %
+YOLOv3              PASCAL-VOC         Large      5 %
+DeepSpeech2         CMU-ARCTIC         Medium     17 %
+ResNet18            CIFAR-10           Small      38 %
+NeuMF               MovieLens          Small      38 %
+==================  =================  =========  ====================
+
+The paper replays *measured* throughput tables and gradient-noise traces.
+We substitute ground-truth parametric profiles (see DESIGN.md §1): for each
+model, a ThroughputParams 7-tuple calibrated so that the single-GPU training
+duration lands in the model's GPU-time category, a GNS trajectory with the
+documented lifetime trends, and batch-size limits reflecting GPU memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.goodput import BatchSizeLimits
+from ..core.throughput import ThroughputModel, ThroughputParams
+from .gns import GNSTrajectory
+
+__all__ = ["Category", "ModelProfile", "MODEL_ZOO", "CATEGORY_BOUNDS_GPU_HOURS"]
+
+
+#: GPU-time category boundaries (GPU-hours), from Sec. 5.1.
+CATEGORY_BOUNDS_GPU_HOURS: Dict[str, Tuple[float, float]] = {
+    "small": (0.0, 1.0),
+    "medium": (1.0, 10.0),
+    "large": (10.0, 100.0),
+    "xlarge": (100.0, 1000.0),
+}
+
+
+class Category:
+    """GPU-time category names used throughout the workload."""
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+    XLARGE = "xlarge"
+
+    ALL = (SMALL, MEDIUM, LARGE, XLARGE)
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Ground truth for one Table 1 model/dataset pair.
+
+    Attributes:
+        name: Short identifier (e.g. ``"resnet18-cifar10"``).
+        task: The task string from Table 1.
+        category: GPU-time category (one of :class:`Category`).
+        validation_metric: The paper's target-quality description (metadata).
+        dataset_size: Samples per epoch.
+        target_epochs: Statistical epochs to completion (progress is measured
+            in m0-equivalent samples; a job completes after
+            ``dataset_size * target_epochs`` statistical samples).
+        init_batch_size: The user-submitted m0.
+        init_lr: The user-submitted eta0.
+        max_batch_size: Application-level cap on the total batch size.
+        max_local_bsz: Largest per-GPU batch size that fits in memory.
+        theta_true: Ground-truth throughput parameters.
+        gns: Ground-truth gradient-noise-scale trajectory.
+    """
+
+    name: str
+    task: str
+    category: str
+    validation_metric: str
+    dataset_size: int
+    target_epochs: float
+    init_batch_size: int
+    init_lr: float
+    max_batch_size: int
+    max_local_bsz: int
+    theta_true: ThroughputParams
+    gns: GNSTrajectory
+
+    def __post_init__(self) -> None:
+        if self.category not in Category.ALL:
+            raise ValueError(f"unknown category {self.category!r}")
+        if self.dataset_size <= 0 or self.target_epochs <= 0:
+            raise ValueError("dataset_size and target_epochs must be positive")
+        if self.init_batch_size <= 0:
+            raise ValueError("init_batch_size must be positive")
+        if self.max_batch_size < self.init_batch_size:
+            raise ValueError("max_batch_size must be >= init_batch_size")
+
+    @property
+    def target_samples(self) -> float:
+        """Total m0-equivalent samples required for completion."""
+        return float(self.dataset_size) * float(self.target_epochs)
+
+    @property
+    def limits(self) -> BatchSizeLimits:
+        """Batch-size feasibility limits for jobs training this model."""
+        return BatchSizeLimits(
+            init_batch_size=float(self.init_batch_size),
+            max_batch_size=float(self.max_batch_size),
+            max_local_bsz=float(self.max_local_bsz),
+        )
+
+    @property
+    def throughput_true(self) -> ThroughputModel:
+        """Ground-truth throughput model (what the simulator executes)."""
+        return ThroughputModel(self.theta_true)
+
+    def single_gpu_duration_hours(self) -> float:
+        """Training time on one GPU at m0 with perfect efficiency (hours)."""
+        t_iter = float(self.throughput_true.t_iter(1, 1, self.init_batch_size))
+        iters = self.target_samples / self.init_batch_size
+        return iters * t_iter / 3600.0
+
+
+def _resnet50_imagenet() -> ModelProfile:
+    return ModelProfile(
+        name="resnet50-imagenet",
+        task="Image Classification",
+        category=Category.XLARGE,
+        validation_metric="75% top-1 accuracy",
+        dataset_size=1_281_167,
+        target_epochs=90.0,
+        init_batch_size=256,
+        init_lr=0.1,
+        max_batch_size=16384,
+        max_local_bsz=256,
+        theta_true=ThroughputParams(
+            alpha_grad=0.10,
+            beta_grad=0.0096,
+            alpha_sync_local=0.06,
+            beta_sync_local=0.003,
+            alpha_sync_node=0.25,
+            beta_sync_node=0.015,
+            gamma=2.6,
+        ),
+        # Large and growing noise scale; x3 jumps at the epoch-30/60 LR
+        # decays (Fig. 2a's efficiency spikes).
+        gns=GNSTrajectory(
+            phi_start=2000.0,
+            phi_end=8000.0,
+            decay_jumps=((1.0 / 3.0, 3.0), (2.0 / 3.0, 3.0)),
+        ),
+    )
+
+
+def _yolov3_voc() -> ModelProfile:
+    return ModelProfile(
+        name="yolov3-voc",
+        task="Object Detection",
+        category=Category.LARGE,
+        validation_metric="82% mAP score",
+        dataset_size=16_551,
+        target_epochs=80.0,
+        init_batch_size=8,
+        init_lr=0.001,
+        max_batch_size=128,
+        max_local_bsz=8,
+        theta_true=ThroughputParams(
+            alpha_grad=0.05,
+            beta_grad=0.025,
+            alpha_sync_local=0.008,
+            beta_sync_local=0.0004,
+            alpha_sync_node=0.035,
+            beta_sync_node=0.002,
+            gamma=2.4,
+        ),
+        gns=GNSTrajectory(
+            phi_start=20.0, phi_end=120.0, decay_jumps=((0.6, 2.0),)
+        ),
+    )
+
+
+def _deepspeech2_arctic() -> ModelProfile:
+    return ModelProfile(
+        name="deepspeech2-arctic",
+        task="Speech Recognition",
+        category=Category.MEDIUM,
+        validation_metric="25% word error",
+        dataset_size=12_000,
+        target_epochs=50.0,
+        init_batch_size=16,
+        init_lr=0.0003,
+        max_batch_size=256,
+        max_local_bsz=32,
+        theta_true=ThroughputParams(
+            alpha_grad=0.06,
+            beta_grad=0.012,
+            alpha_sync_local=0.01,
+            beta_sync_local=0.0005,
+            alpha_sync_node=0.05,
+            beta_sync_node=0.003,
+            gamma=2.0,
+        ),
+        gns=GNSTrajectory(phi_start=30.0, phi_end=250.0),
+    )
+
+
+def _resnet18_cifar10() -> ModelProfile:
+    return ModelProfile(
+        name="resnet18-cifar10",
+        task="Image Classification",
+        category=Category.SMALL,
+        validation_metric="94% top-1 accuracy",
+        dataset_size=50_000,
+        target_epochs=60.0,
+        init_batch_size=128,
+        init_lr=0.1,
+        max_batch_size=8192,
+        max_local_bsz=1024,
+        theta_true=ThroughputParams(
+            alpha_grad=0.03,
+            beta_grad=0.0006,
+            alpha_sync_local=0.0025,
+            beta_sync_local=0.0002,
+            alpha_sync_node=0.012,
+            beta_sync_node=0.0008,
+            gamma=2.2,
+        ),
+        gns=GNSTrajectory(
+            phi_start=250.0,
+            phi_end=1000.0,
+            decay_jumps=((0.5, 2.0), (0.75, 2.0)),
+        ),
+    )
+
+
+def _neumf_movielens() -> ModelProfile:
+    return ModelProfile(
+        name="neumf-movielens",
+        task="Collaborative Filtering",
+        category=Category.SMALL,
+        validation_metric="71.5% hit rate",
+        dataset_size=1_500_000,
+        target_epochs=20.0,
+        init_batch_size=256,
+        init_lr=0.001,
+        max_batch_size=65536,
+        max_local_bsz=16384,
+        theta_true=ThroughputParams(
+            alpha_grad=0.002,
+            beta_grad=1.8e-5,
+            alpha_sync_local=0.004,
+            beta_sync_local=0.0003,
+            alpha_sync_node=0.03,
+            beta_sync_node=0.002,
+            gamma=1.8,
+        ),
+        gns=GNSTrajectory(phi_start=800.0, phi_end=6400.0),
+    )
+
+
+#: The five Table 1 workloads, keyed by name.
+MODEL_ZOO: Dict[str, ModelProfile] = {
+    profile.name: profile
+    for profile in (
+        _resnet50_imagenet(),
+        _yolov3_voc(),
+        _deepspeech2_arctic(),
+        _resnet18_cifar10(),
+        _neumf_movielens(),
+    )
+}
+
+#: Fraction of the workload drawn from each model (Table 1).
+WORKLOAD_FRACTIONS: Dict[str, float] = {
+    "resnet50-imagenet": 0.02,
+    "yolov3-voc": 0.05,
+    "deepspeech2-arctic": 0.17,
+    "resnet18-cifar10": 0.38,
+    "neumf-movielens": 0.38,
+}

@@ -1,0 +1,58 @@
+"""Shared fixtures for the Pollux reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import (
+    BatchSizeLimits,
+    EfficiencyModel,
+    GAConfig,
+    GoodputModel,
+    ThroughputParams,
+)
+
+
+@pytest.fixture
+def cifar_params() -> ThroughputParams:
+    """Ground-truth-like throughput parameters (ResNet18/CIFAR-10 scale)."""
+    return ThroughputParams(
+        alpha_grad=0.03,
+        beta_grad=0.0006,
+        alpha_sync_local=0.0025,
+        beta_sync_local=0.0002,
+        alpha_sync_node=0.012,
+        beta_sync_node=0.0008,
+        gamma=2.2,
+    )
+
+
+@pytest.fixture
+def cifar_limits() -> BatchSizeLimits:
+    return BatchSizeLimits(
+        init_batch_size=128.0, max_batch_size=8192.0, max_local_bsz=1024.0
+    )
+
+
+@pytest.fixture
+def cifar_goodput(cifar_params, cifar_limits) -> GoodputModel:
+    """A mid-training goodput model for a CIFAR-like job."""
+    return GoodputModel(
+        cifar_params, EfficiencyModel(128.0, grad_noise_scale=1000.0), cifar_limits
+    )
+
+
+@pytest.fixture
+def small_cluster() -> ClusterSpec:
+    return ClusterSpec.homogeneous(4, 4)
+
+
+@pytest.fixture
+def quick_ga() -> GAConfig:
+    """Small GA budget to keep tests fast."""
+    return GAConfig(population_size=16, generations=8, seed=0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

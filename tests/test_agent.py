@@ -1,0 +1,156 @@
+"""Tests for PolluxAgent: profiling, online fitting, tuning (Sec. 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PolluxAgent, optimistic_params
+from repro.core.throughput import ThroughputModel
+from repro.workload import MODEL_ZOO
+
+
+@pytest.fixture
+def cifar_profile():
+    return MODEL_ZOO["resnet18-cifar10"]
+
+
+@pytest.fixture
+def agent(cifar_profile) -> PolluxAgent:
+    return PolluxAgent(
+        init_batch_size=float(cifar_profile.init_batch_size),
+        init_lr=cifar_profile.init_lr,
+        limits=cifar_profile.limits,
+    )
+
+
+def feed_observations(agent, profile, placements, rng, batches=(128, 256, 512)):
+    truth = profile.throughput_true
+    for nodes, gpus in placements:
+        for m in batches:
+            if m > gpus * profile.max_local_bsz:
+                continue
+            t = float(truth.t_iter(nodes, gpus, m))
+            agent.record_iteration(nodes, gpus, m, t * rng.lognormal(sigma=0.02))
+
+
+class TestMeasurement:
+    def test_initial_state(self, agent):
+        assert agent.grad_noise_scale == 0.0
+        assert agent.max_gpus_seen == 0
+        assert agent.throughput_params == optimistic_params()
+
+    def test_record_iteration_updates_exploration(self, agent):
+        agent.record_iteration(1, 1, 128, 0.1)
+        assert agent.max_gpus_seen == 1
+        agent.record_iteration(2, 8, 512, 0.2)
+        assert agent.max_gpus_seen == 8
+        assert agent.exploration.seen_multi_node
+
+    def test_rejects_bad_observations(self, agent):
+        with pytest.raises(ValueError):
+            agent.record_iteration(0, 1, 128, 0.1)
+        with pytest.raises(ValueError):
+            agent.record_iteration(1, 1, 128, -0.1)
+
+    def test_grad_stats_to_noise_scale(self, agent):
+        agent.record_grad_stats(var=4.0, sqr=1.0)
+        assert agent.grad_noise_scale == pytest.approx(128.0 * 4.0)
+
+    def test_profile_aggregates_same_config(self, agent):
+        for t in (0.10, 0.12, 0.14):
+            agent.record_iteration(1, 2, 256, t)
+        entries = agent.profile_entries()
+        assert len(entries) == 1
+        assert entries[0].t_iter == pytest.approx(0.12)
+
+    def test_profile_buckets_nearby_batch_sizes(self, agent):
+        agent.record_iteration(1, 2, 256, 0.1)
+        agent.record_iteration(1, 2, 258, 0.1)  # within 5% bucket
+        agent.record_iteration(1, 2, 300, 0.1)  # different bucket
+        assert len(agent.profile_entries()) == 2
+
+
+class TestFitting:
+    def test_fit_requires_observations(self, agent):
+        with pytest.raises(RuntimeError):
+            agent.fit()
+
+    def test_fit_recovers_truth(self, agent, cifar_profile, rng):
+        feed_observations(
+            agent,
+            cifar_profile,
+            [(1, 1), (1, 2), (1, 4), (2, 8), (4, 16)],
+            rng,
+            batches=(128, 256, 512, 1024, 2048),
+        )
+        fitted = ThroughputModel(agent.fit())
+        truth = cifar_profile.throughput_true
+        for nodes, gpus, m in [(1, 4, 512), (4, 16, 2048)]:
+            assert float(fitted.t_iter(nodes, gpus, m)) == pytest.approx(
+                float(truth.t_iter(nodes, gpus, m)), rel=0.1
+            )
+
+    def test_fit_cached_until_new_placement(self, agent, cifar_profile, rng):
+        feed_observations(agent, cifar_profile, [(1, 1)], rng)
+        first = agent.fit()
+        # Same placement, same bucket: no refit.
+        agent.record_iteration(1, 1, 128, 0.107)
+        assert agent.fit() is first
+        # New placement: refit.
+        agent.record_iteration(1, 2, 256, 0.06)
+        assert agent.fit() is not first
+
+    def test_single_gpu_fit_predicts_perfect_scaling(
+        self, agent, cifar_profile, rng
+    ):
+        feed_observations(agent, cifar_profile, [(1, 1)], rng)
+        params = agent.fit()
+        assert params.alpha_sync_local == 0.0
+        assert params.alpha_sync_node == 0.0
+        model = ThroughputModel(params)
+        t1 = float(model.throughput(1, 1, 128))
+        t8 = float(model.throughput(2, 8, 1024))
+        assert t8 == pytest.approx(8 * t1, rel=0.1)
+
+
+class TestReporting:
+    def test_report_exploration_cap(self, agent):
+        report = agent.report()
+        assert report.exploration_cap(64) == 1  # never allocated: start at 1
+        agent.record_iteration(1, 1, 128, 0.1)
+        assert agent.report().exploration_cap(64) == 2
+        agent.record_iteration(1, 4, 512, 0.1)
+        assert agent.report().exploration_cap(64) == 8
+        assert agent.report().exploration_cap(6) == 6  # hard cap wins
+
+    def test_report_builds_goodput_model(self, agent, cifar_profile, rng):
+        feed_observations(agent, cifar_profile, [(1, 1), (1, 2)], rng)
+        agent.record_grad_stats(var=8.0, sqr=1.0)
+        model = agent.report().goodput_model()
+        assert float(model.goodput(1, 2, 256)) > 0
+
+
+class TestTuning:
+    def test_tune_requires_gpus(self, agent):
+        with pytest.raises(ValueError):
+            agent.tune_batch_size(1, 0)
+
+    def test_tune_starts_at_m0_with_no_stats(self, agent, cifar_profile, rng):
+        feed_observations(agent, cifar_profile, [(1, 1)], rng)
+        # phi = 0: larger batches give no benefit, so m* = m0.
+        m, lr = agent.tune_batch_size(1, 1)
+        assert m == pytest.approx(128.0, rel=0.02)
+        assert lr == pytest.approx(cifar_profile.init_lr, rel=0.02)
+
+    def test_tune_grows_batch_with_noise_scale(self, agent, cifar_profile, rng):
+        feed_observations(
+            agent,
+            cifar_profile,
+            [(1, 1), (1, 2), (1, 4)],
+            rng,
+            batches=(128, 256, 512, 1024),
+        )
+        agent.record_grad_stats(var=2000.0 / 128.0, sqr=1.0)  # phi = 2000
+        m_small, _ = agent.tune_batch_size(1, 1)
+        m_large, lr = agent.tune_batch_size(1, 4)
+        assert m_large > m_small
+        assert lr > cifar_profile.init_lr  # AdaScale gain > 1

@@ -1,0 +1,112 @@
+"""Tests for cluster resizing inside the simulator (auto-scaling mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.sim import SimConfig, Simulator
+from repro.workload import MODEL_ZOO, JobSpec
+
+
+class PinnedScheduler:
+    """Allocates every free GPU of node 0 (plus node 1 when present)."""
+
+    name = "pinned"
+    adapts_batch_size = False
+    needs_agent = False
+
+    def schedule(self, now, jobs, cluster):
+        allocations = {}
+        for job in jobs:
+            alloc = np.zeros(cluster.num_nodes, dtype=np.int64)
+            alloc[0] = cluster.nodes[0].num_gpus
+            if cluster.num_nodes > 1:
+                alloc[1] = cluster.nodes[1].num_gpus
+            allocations[job.name] = alloc
+        return allocations
+
+
+class StepAutoscaler:
+    """Scripted node counts at scripted times."""
+
+    def __init__(self, schedule, interval=60.0):
+        self.schedule = sorted(schedule)
+        self.interval = interval
+
+    def decide(self, now, jobs, cluster, scheduler):
+        nodes = self.schedule[0][1]
+        for at, count in self.schedule:
+            if now >= at:
+                nodes = count
+        return nodes
+
+
+def spec(name="job"):
+    return JobSpec(
+        name=name,
+        model=MODEL_ZOO["neumf-movielens"],
+        submission_time=0.0,
+        fixed_num_gpus=8,
+        fixed_batch_size=512,
+    )
+
+
+class TestClusterResize:
+    def test_grow_adds_capacity(self):
+        cluster = ClusterSpec.homogeneous(1, 4)
+        autoscaler = StepAutoscaler([(0.0, 1), (300.0, 3)])
+        sim = Simulator(
+            cluster,
+            PinnedScheduler(),
+            [spec()],
+            SimConfig(seed=0, max_hours=5),
+            autoscaler=autoscaler,
+        )
+        result = sim.run()
+        assert result.num_unfinished == 0
+        node_counts = {t.num_nodes for t in result.timeline}
+        assert 1 in node_counts
+        assert 3 in node_counts
+
+    def test_shrink_restarts_displaced_job(self):
+        cluster = ClusterSpec.homogeneous(2, 4)
+        autoscaler = StepAutoscaler([(0.0, 2), (240.0, 1)])
+        sim = Simulator(
+            cluster,
+            PinnedScheduler(),
+            [spec()],
+            SimConfig(seed=0, max_hours=5),
+            autoscaler=autoscaler,
+        )
+        result = sim.run()
+        # The job spanned nodes 0-1; dropping node 1 forces a restart.
+        assert result.records[0].num_restarts >= 1
+        assert result.num_unfinished == 0
+
+    def test_node_seconds_track_resizes(self):
+        cluster = ClusterSpec.homogeneous(1, 4)
+        autoscaler = StepAutoscaler([(0.0, 1), (300.0, 4)])
+        sim = Simulator(
+            cluster,
+            PinnedScheduler(),
+            [spec()],
+            SimConfig(seed=0, max_hours=5),
+            autoscaler=autoscaler,
+        )
+        result = sim.run()
+        # Cost must be strictly between the all-1-node and all-4-node runs.
+        duration_hours = result.end_time / 3600.0
+        assert duration_hours < result.node_hours() < 4 * duration_hours
+
+    def test_allocation_vectors_resized(self):
+        cluster = ClusterSpec.homogeneous(2, 4)
+        autoscaler = StepAutoscaler([(0.0, 2), (240.0, 4)])
+        sim = Simulator(
+            cluster,
+            PinnedScheduler(),
+            [spec()],
+            SimConfig(seed=0, max_hours=5),
+            autoscaler=autoscaler,
+        )
+        sim.run()
+        assert sim.jobs[0].allocation.shape == (4,)

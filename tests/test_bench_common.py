@@ -1,0 +1,101 @@
+"""Tests for the benchmark harness helpers (benchmarks/common.py)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import (  # noqa: E402
+    SCALE,
+    BenchScale,
+    make_cluster,
+    make_scheduler,
+    mean_over_seeds,
+    print_header,
+)
+from repro.schedulers import (  # noqa: E402
+    OptimusScheduler,
+    PolluxScheduler,
+    TiresiasScheduler,
+)
+
+
+class TestScale:
+    def test_default_scale_ratios_match_paper(self):
+        # 2.5 jobs per GPU, like 160 jobs on 64 GPUs.
+        assert SCALE.num_jobs / SCALE.total_gpus == pytest.approx(2.5)
+
+    def test_total_gpus(self):
+        scale = BenchScale(
+            name="x",
+            num_nodes=3,
+            gpus_per_node=4,
+            num_jobs=10,
+            duration_hours=1.0,
+            ga_population=8,
+            ga_generations=4,
+            seeds=(0,),
+            max_hours=10.0,
+        )
+        assert scale.total_gpus == 12
+
+    def test_make_cluster_matches_scale(self):
+        cluster = make_cluster(SCALE)
+        assert cluster.num_nodes == SCALE.num_nodes
+        assert cluster.total_gpus == SCALE.total_gpus
+
+
+class TestSchedulerFactory:
+    def test_policies_instantiate(self):
+        cluster = make_cluster(SCALE)
+        assert isinstance(
+            make_scheduler("pollux", cluster, SCALE), PolluxScheduler
+        )
+        assert isinstance(
+            make_scheduler("optimus+oracle", cluster, SCALE), OptimusScheduler
+        )
+        assert isinstance(
+            make_scheduler("tiresias", cluster, SCALE), TiresiasScheduler
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("fifo", make_cluster(SCALE), SCALE)
+
+    def test_pollux_kwargs_forwarded(self):
+        cluster = make_cluster(SCALE)
+        scheduler = make_scheduler(
+            "pollux", cluster, SCALE, restart_penalty=0.75
+        )
+        assert scheduler.sched.config.restart_penalty == 0.75
+
+    def test_pollux_ga_budget_from_scale(self):
+        cluster = make_cluster(SCALE)
+        scheduler = make_scheduler("pollux", cluster, SCALE)
+        assert scheduler.sched.config.ga.population_size == SCALE.ga_population
+        assert scheduler.sched.config.ga.generations == SCALE.ga_generations
+
+
+class TestHelpers:
+    def test_mean_over_seeds(self):
+        scale = BenchScale(
+            name="x",
+            num_nodes=1,
+            gpus_per_node=1,
+            num_jobs=1,
+            duration_hours=1.0,
+            ga_population=2,
+            ga_generations=1,
+            seeds=(0, 1, 2),
+            max_hours=1.0,
+        )
+        out = mean_over_seeds(lambda seed: {"v": float(seed)}, scale)
+        assert out["v"] == pytest.approx(1.0)
+
+    def test_print_header_runs(self, capsys):
+        print_header("Smoke")
+        captured = capsys.readouterr()
+        assert "Smoke" in captured.out
+        assert "scale=" in captured.out

@@ -1,0 +1,150 @@
+"""Tests for cluster specs and allocation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    NodeSpec,
+    allocation_num_gpus,
+    allocation_num_nodes,
+    canonical_allocation,
+    empty_allocation,
+    pack_allocation,
+    validate_allocation_matrix,
+)
+from repro.cluster.allocation import distributed_job_mask
+
+
+class TestSpecs:
+    def test_homogeneous(self):
+        cluster = ClusterSpec.homogeneous(4, 4)
+        assert cluster.num_nodes == 4
+        assert cluster.total_gpus == 16
+        assert cluster.max_gpus_per_node == 4
+        np.testing.assert_array_equal(cluster.capacities(), [4, 4, 4, 4])
+
+    def test_heterogeneous(self):
+        cluster = ClusterSpec(nodes=(NodeSpec(2), NodeSpec(8)))
+        assert cluster.total_gpus == 10
+        assert cluster.max_gpus_per_node == 8
+
+    def test_resize_grow_and_shrink(self):
+        cluster = ClusterSpec.homogeneous(4, 4)
+        grown = cluster.resized(6)
+        assert grown.num_nodes == 6
+        assert grown.total_gpus == 24
+        shrunk = cluster.resized(2)
+        assert shrunk.num_nodes == 2
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            NodeSpec(0)
+        with pytest.raises(ValueError):
+            ClusterSpec.homogeneous(0)
+        with pytest.raises(ValueError):
+            ClusterSpec.homogeneous(2).resized(0)
+
+
+class TestAllocationHelpers:
+    def test_empty_allocation(self):
+        alloc = empty_allocation(4)
+        assert alloc.sum() == 0
+        assert alloc.dtype == np.int64
+
+    def test_counts(self):
+        alloc = np.array([2, 0, 1, 0])
+        assert allocation_num_gpus(alloc) == 3
+        assert allocation_num_nodes(alloc) == 2
+
+    def test_counts_matrix_form(self):
+        matrix = np.array([[2, 0], [1, 1]])
+        np.testing.assert_array_equal(allocation_num_gpus(matrix), [2, 2])
+        np.testing.assert_array_equal(allocation_num_nodes(matrix), [1, 2])
+
+    def test_canonical_is_hashable(self):
+        alloc = np.array([1, 2, 0])
+        assert hash(canonical_allocation(alloc)) == hash((1, 2, 0))
+
+    def test_distributed_mask(self):
+        matrix = np.array([[2, 0, 0], [1, 1, 0], [0, 0, 0]])
+        np.testing.assert_array_equal(
+            distributed_job_mask(matrix), [False, True, False]
+        )
+
+
+class TestPackAllocation:
+    def test_fits_on_one_node(self, small_cluster):
+        free = np.array([4, 4, 4, 4])
+        alloc = pack_allocation(small_cluster, 3, free)
+        assert alloc.sum() == 3
+        assert (alloc > 0).sum() == 1  # consolidated
+
+    def test_best_fit_prefers_snuggest_node(self, small_cluster):
+        free = np.array([4, 2, 3, 4])
+        alloc = pack_allocation(small_cluster, 2, free)
+        assert alloc[1] == 2  # exactly-fitting node chosen
+
+    def test_spreads_when_necessary(self, small_cluster):
+        free = np.array([3, 3, 2, 0])
+        alloc = pack_allocation(small_cluster, 6, free)
+        assert alloc.sum() == 6
+        assert np.all(alloc <= free)
+
+    def test_insufficient_capacity_returns_empty(self, small_cluster):
+        free = np.array([1, 0, 0, 0])
+        alloc = pack_allocation(small_cluster, 3, free)
+        assert alloc.sum() == 0
+
+    def test_zero_request(self, small_cluster):
+        free = np.array([4, 4, 4, 4])
+        assert pack_allocation(small_cluster, 0, free).sum() == 0
+
+    def test_does_not_mutate_free(self, small_cluster):
+        free = np.array([4, 4, 4, 4])
+        pack_allocation(small_cluster, 5, free)
+        np.testing.assert_array_equal(free, [4, 4, 4, 4])
+
+
+class TestValidation:
+    def test_valid_matrix(self, small_cluster):
+        matrix = np.array(
+            [[4, 0, 0, 0], [0, 2, 2, 0], [0, 2, 0, 0]], dtype=np.int64
+        )
+        assert validate_allocation_matrix(matrix, small_cluster) == []
+
+    def test_over_capacity_detected(self, small_cluster):
+        matrix = np.array([[5, 0, 0, 0]], dtype=np.int64)
+        problems = validate_allocation_matrix(matrix, small_cluster)
+        assert any("over capacity" in p for p in problems)
+
+    def test_negative_detected(self, small_cluster):
+        matrix = np.array([[-1, 0, 0, 0]], dtype=np.int64)
+        assert validate_allocation_matrix(matrix, small_cluster)
+
+    def test_interference_detected(self, small_cluster):
+        # Two distributed jobs share node 1.
+        matrix = np.array(
+            [[2, 2, 0, 0], [0, 2, 2, 0]], dtype=np.int64
+        )
+        ok_without = validate_allocation_matrix(matrix, small_cluster)
+        problems = validate_allocation_matrix(
+            matrix, small_cluster, forbid_interference=True
+        )
+        assert ok_without == []
+        assert any("shared by" in p for p in problems)
+
+    def test_single_node_jobs_may_share(self, small_cluster):
+        matrix = np.array(
+            [[2, 0, 0, 0], [2, 0, 0, 0]], dtype=np.int64
+        )
+        assert (
+            validate_allocation_matrix(
+                matrix, small_cluster, forbid_interference=True
+            )
+            == []
+        )
+
+    def test_wrong_shape(self, small_cluster):
+        matrix = np.zeros((2, 7), dtype=np.int64)
+        assert validate_allocation_matrix(matrix, small_cluster)

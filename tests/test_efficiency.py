@@ -1,0 +1,143 @@
+"""Tests for statistical efficiency and the gradient noise scale (Eqn. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.efficiency import (
+    EfficiencyModel,
+    GradientStats,
+    efficiency,
+    gradient_noise_scale,
+)
+
+
+class TestGradientNoiseScale:
+    def test_definition(self):
+        # phi = m0 * sigma^2 / mu^2
+        assert gradient_noise_scale(var=2.0, sqr=1.0, batch_size=32) == 64.0
+
+    def test_zero_variance(self):
+        assert gradient_noise_scale(var=0.0, sqr=1.0, batch_size=32) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            gradient_noise_scale(var=1.0, sqr=0.0, batch_size=32)
+        with pytest.raises(ValueError):
+            gradient_noise_scale(var=-1.0, sqr=1.0, batch_size=32)
+        with pytest.raises(ValueError):
+            gradient_noise_scale(var=1.0, sqr=1.0, batch_size=0)
+
+
+class TestEfficiencyFunction:
+    def test_equals_one_at_m0(self):
+        assert efficiency(500.0, 128.0, 128.0) == pytest.approx(1.0)
+
+    def test_in_unit_interval_for_m_ge_m0(self):
+        phis = np.array([0.0, 10.0, 1e3, 1e6])
+        for phi in phis:
+            values = efficiency(phi, 128.0, np.array([128.0, 512.0, 8192.0]))
+            assert np.all(values > 0.0)
+            assert np.all(values <= 1.0)
+
+    def test_decreasing_in_batch_size(self):
+        values = efficiency(1000.0, 128.0, np.array([128, 256, 1024, 4096, 16384]))
+        assert np.all(np.diff(values) < 0)
+
+    def test_increasing_in_noise_scale(self):
+        # Larger phi -> large batches become relatively more efficient.
+        m = 4096.0
+        values = [efficiency(phi, 128.0, m) for phi in (100.0, 1000.0, 100000.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_zero_noise_scale_is_pure_dilution(self):
+        # phi = 0: each extra sample contributes nothing -> eff = m0 / m.
+        assert efficiency(0.0, 128.0, 512.0) == pytest.approx(128.0 / 512.0)
+
+    def test_inverse_interpretation(self):
+        # Training at batch m needs 1/eff times as many samples (Sec. 3.1).
+        phi, m0, m = 800.0, 128.0, 1024.0
+        eff = efficiency(phi, m0, m)
+        samples_ratio = 1.0 / eff
+        assert samples_ratio == pytest.approx((phi + m) / (phi + m0))
+
+    def test_rejects_negative_phi(self):
+        with pytest.raises(ValueError):
+            efficiency(-1.0, 128.0, 256.0)
+
+
+class TestGradientStats:
+    def test_requires_update_before_reading(self):
+        stats = GradientStats()
+        assert not stats.has_estimate
+        with pytest.raises(RuntimeError):
+            _ = stats.variance
+
+    def test_bias_corrected_single_update(self):
+        stats = GradientStats(smoothing=0.9)
+        stats.update(var=4.0, sqr=2.0)
+        assert stats.variance == pytest.approx(4.0)
+        assert stats.sqr_norm == pytest.approx(2.0)
+
+    def test_converges_to_constant_stream(self):
+        stats = GradientStats(smoothing=0.9)
+        for _ in range(200):
+            stats.update(var=3.0, sqr=1.5)
+        assert stats.variance == pytest.approx(3.0, rel=1e-6)
+        assert stats.sqr_norm == pytest.approx(1.5, rel=1e-6)
+
+    def test_smooths_noise(self, rng):
+        stats = GradientStats(smoothing=0.95)
+        for _ in range(500):
+            stats.update(var=2.0 * rng.lognormal(sigma=0.3), sqr=1.0)
+        # The smoothed estimate should be near the mean of the stream.
+        assert stats.variance == pytest.approx(
+            2.0 * np.exp(0.3 ** 2 / 2.0), rel=0.15
+        )
+
+    def test_noise_scale(self):
+        stats = GradientStats()
+        stats.update(var=2.0, sqr=1.0)
+        assert stats.noise_scale(32.0) == pytest.approx(64.0)
+
+    def test_negative_var_clamped(self):
+        stats = GradientStats()
+        stats.update(var=-5.0, sqr=1.0)
+        assert stats.variance == 0.0
+
+    def test_reset(self):
+        stats = GradientStats()
+        stats.update(var=1.0, sqr=1.0)
+        stats.reset()
+        assert not stats.has_estimate
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            GradientStats(smoothing=1.0)
+
+
+class TestEfficiencyModel:
+    def test_gain_and_efficiency_consistency(self):
+        # EFFICIENCY(m) = r_t * m0 / m (Appendix A).
+        model = EfficiencyModel(128.0, 700.0)
+        for m in (128.0, 512.0, 4096.0):
+            assert model.efficiency(m) == pytest.approx(
+                model.gain(m) * 128.0 / m
+            )
+
+    def test_gain_bounds(self):
+        # 1 <= r_t <= m / m0 for m >= m0.
+        model = EfficiencyModel(128.0, 700.0)
+        for m in (128.0, 256.0, 2048.0):
+            gain = model.gain(m)
+            assert 1.0 <= gain <= m / 128.0 + 1e-9
+
+    def test_array_input(self):
+        model = EfficiencyModel(128.0, 700.0)
+        out = model.efficiency(np.array([128.0, 256.0]))
+        assert out.shape == (2,)
+
+    def test_rejects_invalid_construction(self):
+        with pytest.raises(ValueError):
+            EfficiencyModel(0.0, 100.0)
+        with pytest.raises(ValueError):
+            EfficiencyModel(128.0, -1.0)

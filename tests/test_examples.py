@@ -1,0 +1,40 @@
+"""Smoke tests: the shipped examples must run end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "fitted theta_sys" in out
+    assert "SPEEDUP table" in out
+
+
+def test_adascale_training_runs():
+    out = run_example("adascale_training.py")
+    assert "measured gradient noise scale" in out
+    assert "predicted" in out
+
+
+def test_scheduler_comparison_runs():
+    out = run_example(
+        "scheduler_comparison.py", "--jobs", "4", "--nodes", "2", "--hours", "0.5"
+    )
+    assert "avg JCT relative to Pollux" in out
+    assert "pollux" in out

@@ -1,0 +1,92 @@
+"""Tests for golden-section search (continuous and integer)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.goldensection import golden_section_search, golden_section_search_int
+
+
+class TestContinuous:
+    def test_finds_parabola_peak(self):
+        x, fx = golden_section_search(lambda x: -((x - 3.0) ** 2), 0.0, 10.0)
+        assert abs(x - 3.0) < 1e-4
+        assert abs(fx) < 1e-7
+
+    def test_peak_at_left_boundary(self):
+        x, _ = golden_section_search(lambda x: -x, 2.0, 5.0, tol=1e-8)
+        assert abs(x - 2.0) < 1e-5
+
+    def test_peak_at_right_boundary(self):
+        x, _ = golden_section_search(lambda x: x, 2.0, 5.0, tol=1e-8)
+        assert abs(x - 5.0) < 1e-5
+
+    def test_degenerate_interval(self):
+        x, fx = golden_section_search(lambda x: -x * x, 4.0, 4.0)
+        assert x == 4.0
+        assert fx == -16.0
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            golden_section_search(lambda x: x, 5.0, 2.0)
+
+    def test_asymmetric_unimodal(self):
+        # A skewed unimodal function: x * exp(-x / 7).
+        fn = lambda x: x * math.exp(-x / 7.0)
+        x, _ = golden_section_search(fn, 0.0, 50.0, tol=1e-6)
+        assert abs(x - 7.0) < 1e-3
+
+    def test_tolerance_controls_precision(self):
+        fn = lambda x: -((x - math.pi) ** 2)
+        x_coarse, _ = golden_section_search(fn, 0.0, 10.0, tol=1.0)
+        x_fine, _ = golden_section_search(fn, 0.0, 10.0, tol=1e-9)
+        assert abs(x_fine - math.pi) <= abs(x_coarse - math.pi) + 1e-12
+        assert abs(x_fine - math.pi) < 1e-5
+
+    def test_goodput_like_objective(self):
+        # THROUGHPUT(m) * EFFICIENCY(m) shape: rises then falls.
+        phi, m0 = 500.0, 32.0
+
+        def goodput(m):
+            tput = m / (0.01 + 0.0005 * m / 8.0)
+            eff = (phi + m0) / (phi + m)
+            return tput * eff
+
+        x, _ = golden_section_search(goodput, m0, 10000.0, tol=0.5)
+        grid = np.linspace(m0, 10000.0, 20000)
+        best = grid[np.argmax([goodput(m) for m in grid])]
+        assert abs(x - best) < 2.0
+
+
+class TestInteger:
+    def test_finds_integer_peak(self):
+        x, fx = golden_section_search_int(lambda x: -((x - 37) ** 2), 0, 100)
+        assert x == 37
+        assert fx == 0
+
+    def test_tiny_ranges(self):
+        for lo, hi in [(5, 5), (5, 6), (5, 8)]:
+            x, _ = golden_section_search_int(lambda v: -abs(v - 6), lo, hi)
+            assert lo <= x <= hi
+            expected = min(max(6, lo), hi)
+            assert x == expected
+
+    def test_plateau_returns_valid_point(self):
+        x, fx = golden_section_search_int(lambda v: 1.0, 0, 50)
+        assert 0 <= x <= 50
+        assert fx == 1.0
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            golden_section_search_int(lambda v: v, 3, 1)
+
+    def test_matches_exhaustive_on_unimodal(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            peak = int(rng.integers(0, 200))
+            scale = float(rng.uniform(0.5, 3.0))
+            fn = lambda v, p=peak, s=scale: -s * (v - p) ** 2
+            x, _ = golden_section_search_int(fn, 0, 199)
+            expected = int(np.argmax([fn(v) for v in range(200)]))
+            assert x == expected

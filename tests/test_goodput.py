@@ -1,0 +1,130 @@
+"""Tests for GOODPUT (Eqn. 6) and batch-size optimization (Eqn. 13)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BatchSizeLimits, EfficiencyModel, GoodputModel
+from repro.core.goodput import batch_size_grid
+
+
+class TestBatchSizeLimits:
+    def test_range_for_grows_with_gpus(self, cifar_limits):
+        lo1, hi1 = cifar_limits.range_for(1)
+        lo8, hi8 = cifar_limits.range_for(8)
+        assert lo1 == lo8 == 128.0
+        assert hi1 == 1024.0
+        assert hi8 == 8192.0  # capped by max_batch_size
+
+    def test_range_caps_at_max_batch_size(self, cifar_limits):
+        _, hi = cifar_limits.range_for(64)
+        assert hi == cifar_limits.max_batch_size
+
+    def test_infeasible_returns_none(self):
+        limits = BatchSizeLimits(
+            init_batch_size=256.0, max_batch_size=1024.0, max_local_bsz=64.0
+        )
+        assert limits.range_for(1) is None
+        assert limits.range_for(3) is None
+        assert limits.range_for(4) == (256.0, 256.0)
+
+    def test_min_gpus(self):
+        limits = BatchSizeLimits(
+            init_batch_size=256.0, max_batch_size=1024.0, max_local_bsz=64.0
+        )
+        assert limits.min_gpus() == 4
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            BatchSizeLimits(0, 10, 10)
+        with pytest.raises(ValueError):
+            BatchSizeLimits(100, 50, 10)
+
+
+class TestBatchSizeGrid:
+    def test_endpoints_included(self):
+        grid = batch_size_grid(128.0, 8192.0)
+        assert grid[0] == pytest.approx(128.0)
+        assert grid[-1] == pytest.approx(8192.0)
+
+    def test_geometric_spacing(self):
+        grid = batch_size_grid(100.0, 1600.0, points_per_octave=4)
+        ratios = grid[1:] / grid[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_degenerate_range(self):
+        grid = batch_size_grid(128.0, 128.0)
+        assert list(grid) == [128.0]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            batch_size_grid(100.0, 50.0)
+
+
+class TestGoodput:
+    def test_goodput_is_throughput_times_efficiency(self, cifar_goodput):
+        m = 512.0
+        tput = float(cifar_goodput.throughput(1, 4, m))
+        eff = float(cifar_goodput.efficiency(m))
+        assert float(cifar_goodput.goodput(1, 4, m)) == pytest.approx(tput * eff)
+
+    def test_goodput_at_most_throughput(self, cifar_goodput):
+        for m in (128.0, 1024.0, 8192.0):
+            assert float(cifar_goodput.goodput(2, 8, m)) <= float(
+                cifar_goodput.throughput(2, 8, m)
+            )
+
+    def test_goodput_unimodal_in_batch_size(self, cifar_goodput):
+        grid = batch_size_grid(128.0, 8192.0, points_per_octave=32)
+        values = np.asarray(cifar_goodput.goodput(2, 8, grid))
+        peak = int(np.argmax(values))
+        assert np.all(np.diff(values[: peak + 1]) >= -1e-9)
+        assert np.all(np.diff(values[peak:]) <= 1e-9)
+
+    def test_mismatched_m0_rejected(self, cifar_params, cifar_limits):
+        with pytest.raises(ValueError):
+            GoodputModel(
+                cifar_params, EfficiencyModel(64.0, 100.0), cifar_limits
+            )
+
+
+class TestOptimizeBatchSize:
+    def test_golden_section_matches_grid(self, cifar_goodput):
+        for nodes, gpus in [(1, 1), (1, 4), (2, 8), (4, 16)]:
+            m_gs, g_gs = cifar_goodput.optimize_batch_size(nodes, gpus, tol=0.1)
+            m_grid, g_grid = cifar_goodput.optimize_batch_size_grid(
+                nodes, gpus, points_per_octave=64
+            )
+            assert g_gs == pytest.approx(g_grid, rel=1e-3)
+            assert m_gs == pytest.approx(m_grid, rel=0.05)
+
+    def test_optimal_batch_grows_with_gpus(self, cifar_goodput):
+        m1, _ = cifar_goodput.optimize_batch_size(1, 1)
+        m16, _ = cifar_goodput.optimize_batch_size(4, 16)
+        assert m16 > m1
+
+    def test_optimal_batch_grows_with_noise_scale(
+        self, cifar_params, cifar_limits
+    ):
+        low = GoodputModel(
+            cifar_params, EfficiencyModel(128.0, 100.0), cifar_limits
+        )
+        high = GoodputModel(
+            cifar_params, EfficiencyModel(128.0, 10000.0), cifar_limits
+        )
+        m_low, _ = low.optimize_batch_size(2, 8)
+        m_high, _ = high.optimize_batch_size(2, 8)
+        assert m_high > m_low
+
+    def test_respects_feasibility(self, cifar_goodput):
+        m, _ = cifar_goodput.optimize_batch_size(1, 1)
+        assert 128.0 <= m <= 1024.0  # single-GPU memory cap
+
+    def test_infeasible_raises(self, cifar_params):
+        limits = BatchSizeLimits(
+            init_batch_size=256.0, max_batch_size=1024.0, max_local_bsz=64.0
+        )
+        model = GoodputModel(
+            cifar_params, EfficiencyModel(256.0, 100.0), limits
+        )
+        with pytest.raises(ValueError):
+            model.optimize_batch_size(1, 1)

@@ -1,0 +1,260 @@
+"""End-to-end integration tests asserting the paper's qualitative claims.
+
+These run small but complete simulations (whole pipeline: trace generation
+-> scheduling -> agents fitting models online -> progress accounting) and
+check the *shape* of the paper's results: who wins, and in which direction
+each mechanism moves the metrics.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
+from repro.schedulers import (
+    OptimusScheduler,
+    OrElasticAutoscaler,
+    OrElasticScheduler,
+    PolluxAutoscalerHook,
+    PolluxScheduler,
+    TiresiasScheduler,
+)
+from repro.sim import SimConfig, Simulator
+from repro.workload import MODEL_ZOO, JobSpec, TraceConfig, generate_trace
+
+SMALL_MIX = {
+    "resnet18-cifar10": 0.5,
+    "neumf-movielens": 0.3,
+    "deepspeech2-arctic": 0.2,
+}
+
+
+def quick_pollux(cluster, seed=0, **config_kwargs):
+    return PolluxScheduler(
+        cluster,
+        PolluxSchedConfig(
+            ga=GAConfig(population_size=20, generations=10, seed=seed),
+            **config_kwargs,
+        ),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(
+        TraceConfig(
+            num_jobs=12,
+            duration_hours=1.0,
+            seed=1,
+            max_gpus=16,
+            model_fractions=SMALL_MIX,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison_results(small_trace):
+    """Run all three schedulers once on the same small trace."""
+    cluster = ClusterSpec.homogeneous(4, 4)
+    results = {}
+    for scheduler in (
+        quick_pollux(cluster),
+        OptimusScheduler(max_gpus_per_job=16),
+        TiresiasScheduler(),
+    ):
+        sim = Simulator(
+            cluster, scheduler, small_trace, SimConfig(seed=7, max_hours=30)
+        )
+        results[scheduler.name] = sim.run()
+    return results
+
+
+class TestSchedulerComparison:
+    def test_all_jobs_complete(self, comparison_results):
+        for name, result in comparison_results.items():
+            assert result.num_unfinished == 0, name
+
+    def test_pollux_best_average_jct(self, comparison_results):
+        pollux = comparison_results["pollux"].avg_jct()
+        for name, result in comparison_results.items():
+            assert pollux <= result.avg_jct() * 1.05, name
+
+    def test_pollux_best_makespan(self, comparison_results):
+        pollux = comparison_results["pollux"].makespan()
+        for name, result in comparison_results.items():
+            assert pollux <= result.makespan() * 1.1, name
+
+    def test_jct_reasonable_scale(self, comparison_results):
+        # Small jobs on an uncontended cluster: JCTs under a few hours.
+        for result in comparison_results.values():
+            assert 0.05 <= result.avg_jct() / 3600.0 <= 5.0
+
+    def test_restarts_bounded(self, comparison_results):
+        result = comparison_results["pollux"]
+        restarts = sum(r.num_restarts for r in result.records)
+        assert restarts <= 12 * len(result.records)
+
+
+class TestPolluxAdaptivity:
+    def test_batch_size_and_allocation_adapt(self):
+        """A lone scalable job should grow past 1 GPU and past m0."""
+        cluster = ClusterSpec.homogeneous(4, 4)
+        spec = JobSpec(
+            name="solo",
+            model=MODEL_ZOO["resnet18-cifar10"],
+            submission_time=0.0,
+            fixed_num_gpus=1,
+            fixed_batch_size=128,
+        )
+        scheduler = quick_pollux(cluster)
+        sim = Simulator(
+            cluster, scheduler, [spec], SimConfig(seed=3, max_hours=5)
+        )
+        max_gpus_seen = 0
+        max_batch_seen = 0.0
+        job = sim.jobs[0]
+        # Drive the simulator manually to watch the trajectory.
+        while sim.now < 5 * 3600 and not job.complete:
+            active = sim.active_jobs()
+            if sim.now >= sim._next_schedule:
+                allocs = scheduler.schedule(sim.now, active, cluster)
+                sim._apply_allocations(allocs, active)
+                sim._next_schedule = sim.now + sim.config.scheduling_interval
+                sim._tune_batch_sizes(active)
+            for j in active:
+                if j.num_gpus > 0 and sim.now >= j.restart_until:
+                    sim._observe(j, 0.0)
+                sim._advance(j, sim.config.tick_seconds, 0.0)
+            max_gpus_seen = max(max_gpus_seen, job.num_gpus)
+            max_batch_seen = max(max_batch_seen, job.batch_size)
+            sim.now += sim.config.tick_seconds
+        assert job.complete
+        assert max_gpus_seen > 1  # exploration grew the allocation
+        assert max_batch_seen > 128.0  # batch size adapted upward
+
+    def test_exploration_starts_at_one_gpu(self):
+        cluster = ClusterSpec.homogeneous(4, 4)
+        spec = JobSpec(
+            name="solo",
+            model=MODEL_ZOO["resnet18-cifar10"],
+            submission_time=0.0,
+            fixed_num_gpus=1,
+            fixed_batch_size=128,
+        )
+        scheduler = quick_pollux(cluster)
+        sim = Simulator(cluster, scheduler, [spec], SimConfig(seed=3, max_hours=1))
+        active = sim.active_jobs()
+        allocs = scheduler.schedule(0.0, active, cluster)
+        assert allocs["solo"].sum() <= 1
+
+
+class TestInterferenceAvoidance:
+    def _run(self, slowdown, avoidance, seed=11):
+        cluster = ClusterSpec.homogeneous(4, 4)
+        trace = generate_trace(
+            TraceConfig(
+                num_jobs=8,
+                duration_hours=0.5,
+                seed=seed,
+                max_gpus=16,
+                model_fractions=SMALL_MIX,
+            )
+        )
+        scheduler = quick_pollux(cluster, forbid_interference=avoidance)
+        sim = Simulator(
+            cluster,
+            scheduler,
+            trace,
+            SimConfig(seed=7, max_hours=20, interference_slowdown=slowdown),
+        )
+        return sim.run()
+
+    def test_avoidance_shields_from_slowdown(self):
+        # With avoidance on, heavy interference must not hurt much
+        # (Fig. 9: flat at 1.0x).
+        clean = self._run(0.0, avoidance=True)
+        dirty = self._run(0.5, avoidance=True)
+        assert dirty.avg_jct() <= clean.avg_jct() * 1.25
+
+
+class TestCloudAutoscaling:
+    @pytest.fixture(scope="class")
+    def cloud_results(self):
+        profile = dataclasses.replace(
+            MODEL_ZOO["resnet50-imagenet"], target_epochs=3.0
+        )
+        spec = JobSpec(
+            name="imagenet",
+            model=profile,
+            submission_time=0.0,
+            fixed_num_gpus=8,
+            fixed_batch_size=256,
+        )
+        results = {}
+        config = SimConfig(
+            seed=0,
+            max_hours=200,
+            tick_seconds=60.0,
+            scheduling_interval=120.0,
+            agent_interval=60.0,
+        )
+        cluster = ClusterSpec.homogeneous(1, 4)
+        pollux_sched = PolluxScheduler(
+            cluster,
+            PolluxSchedConfig(ga=GAConfig(population_size=16, generations=8)),
+        )
+        results["pollux"] = Simulator(
+            cluster,
+            pollux_sched,
+            [spec],
+            config,
+            autoscaler=PolluxAutoscalerHook(
+                AutoscaleConfig(min_nodes=1, max_nodes=8), interval=900.0
+            ),
+        ).run()
+        results["or-etal"] = Simulator(
+            ClusterSpec.homogeneous(1, 4),
+            OrElasticScheduler(),
+            [spec],
+            config,
+            autoscaler=OrElasticAutoscaler(
+                min_nodes=1, max_nodes=8, interval=900.0
+            ),
+        ).run()
+        return results
+
+    def test_both_complete(self, cloud_results):
+        for result in cloud_results.values():
+            assert result.num_unfinished == 0
+
+    def test_pollux_scales_up_over_time(self, cloud_results):
+        timeline = cloud_results["pollux"].timeline
+        third = len(timeline) // 3
+        early = np.mean([t.num_nodes for t in timeline[:third]])
+        late = np.mean([t.num_nodes for t in timeline[-third:]])
+        assert late > early  # nodes ramp up as efficiency grows (Fig. 10a)
+
+    def test_oretal_scales_out_early_and_holds(self, cloud_results):
+        timeline = cloud_results["or-etal"].timeline
+        nodes = [t.num_nodes for t in timeline]
+        # Reaches its max early and never shrinks afterwards.
+        peak = max(nodes)
+        first_peak = nodes.index(peak)
+        assert first_peak < len(nodes) * 0.33
+        assert all(n == peak for n in nodes[first_peak:])
+
+    def test_pollux_cheaper(self, cloud_results):
+        assert (
+            cloud_results["pollux"].node_hours()
+            < cloud_results["or-etal"].node_hours()
+        )
+
+    def test_pollux_maintains_higher_efficiency(self, cloud_results):
+        # Fig. 10b: goodput-driven scaling keeps stat. efficiency high.
+        assert (
+            cloud_results["pollux"].avg_efficiency()
+            > cloud_results["or-etal"].avg_efficiency()
+        )

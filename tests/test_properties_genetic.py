@@ -1,0 +1,148 @@
+"""Property-based tests for the genetic algorithm's invariants.
+
+Whatever the population the GA starts from and whatever the job mix, the
+best allocation matrix it returns must satisfy every hard constraint:
+per-node capacity, per-job exploration caps, and (when enabled) the
+interference-avoidance rule.  Fitness must never regress across rounds when
+re-seeded with the previous population.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, validate_allocation_matrix
+from repro.core import (
+    AllocationProblem,
+    GAConfig,
+    GeneticOptimizer,
+    JobGAInfo,
+)
+
+
+def synthetic_table(max_gpus: int, scale: float, rng_seed: int) -> np.ndarray:
+    """A plausible concave speedup table."""
+    ks = np.arange(max_gpus + 1, dtype=float)
+    single = np.power(ks, scale)
+    multi = np.power(ks, scale * 0.9)
+    table = np.stack([single, multi], axis=1)
+    table[0] = 0.0
+    if max_gpus >= 1:
+        table[1, 1] = 0.0
+    return table
+
+
+jobs_st = st.lists(
+    st.tuples(
+        st.floats(0.3, 1.0),  # concavity exponent
+        st.floats(0.05, 1.0),  # weight
+        st.integers(1, 16),  # max gpus
+        st.booleans(),  # running
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(
+    jobs_spec=jobs_st,
+    num_nodes=st.integers(1, 6),
+    gpus_per_node=st.integers(1, 4),
+    forbid=st.booleans(),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_ga_output_always_feasible(jobs_spec, num_nodes, gpus_per_node, forbid, seed):
+    cluster = ClusterSpec.homogeneous(num_nodes, gpus_per_node)
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for idx, (scale, weight, max_gpus, running) in enumerate(jobs_spec):
+        max_gpus = min(max_gpus, cluster.total_gpus)
+        current = np.zeros(num_nodes, dtype=np.int64)
+        if running:
+            node = idx % num_nodes
+            current[node] = min(1, gpus_per_node)
+        jobs.append(
+            JobGAInfo(
+                speedup_table=synthetic_table(max_gpus, scale, idx),
+                weight=weight,
+                max_gpus=max_gpus,
+                current_alloc=current,
+                running=running,
+            )
+        )
+    problem = AllocationProblem(
+        cluster, jobs, restart_penalty=0.25, forbid_interference=forbid
+    )
+    optimizer = GeneticOptimizer(
+        problem, GAConfig(population_size=8, generations=4, seed=seed), rng=rng
+    )
+    best, fitness, population = optimizer.run()
+
+    assert best.shape == (len(jobs), num_nodes)
+    problems = validate_allocation_matrix(
+        best, cluster, forbid_interference=forbid
+    )
+    assert problems == [], problems
+    for j, job in enumerate(jobs):
+        assert best[j].sum() <= job.max_gpus
+    assert np.isfinite(fitness)
+    # Every population member is feasible too (they seed the next round).
+    for member in population:
+        assert (
+            validate_allocation_matrix(
+                member, cluster, forbid_interference=forbid
+            )
+            == []
+        )
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=25, deadline=None)
+def test_reseeded_round_never_regresses(seed):
+    cluster = ClusterSpec.homogeneous(3, 4)
+    jobs = [
+        JobGAInfo(
+            speedup_table=synthetic_table(8, 0.7, j),
+            weight=1.0,
+            max_gpus=8,
+            current_alloc=np.zeros(3, dtype=np.int64),
+            running=False,
+        )
+        for j in range(3)
+    ]
+    problem = AllocationProblem(cluster, jobs)
+    cfg = GAConfig(population_size=12, generations=6, seed=seed)
+    _, fitness1, population = GeneticOptimizer(problem, cfg).run()
+    _, fitness2, _ = GeneticOptimizer(problem, cfg).run(initial=population)
+    # Elitist selection + warm start: the second round can only improve.
+    assert fitness2 >= fitness1 - 1e-9
+
+
+@given(
+    excess=st.integers(1, 30),
+    num_jobs=st.integers(1, 5),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_repair_restores_capacity(excess, num_jobs, seed):
+    cluster = ClusterSpec.homogeneous(3, 4)
+    jobs = [
+        JobGAInfo(
+            speedup_table=synthetic_table(cluster.total_gpus, 0.8, j),
+            weight=1.0,
+            max_gpus=cluster.total_gpus,
+            current_alloc=np.zeros(3, dtype=np.int64),
+            running=False,
+        )
+        for j in range(num_jobs)
+    ]
+    problem = AllocationProblem(cluster, jobs, forbid_interference=False)
+    optimizer = GeneticOptimizer(problem, GAConfig(population_size=4, seed=seed))
+    rng = np.random.default_rng(seed)
+    pop = rng.integers(0, excess + 1, size=(4, num_jobs, 3))
+    repaired = optimizer._repair(pop.astype(np.int64))
+    for member in repaired:
+        assert validate_allocation_matrix(member, cluster) == []
+    # Repair only removes GPUs, never adds.
+    assert np.all(repaired <= pop)

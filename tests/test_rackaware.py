@@ -1,0 +1,117 @@
+"""Tests for the rack-aware T_sync extension (Sec. 3.2 footnote)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rackaware import (
+    RackProfileEntry,
+    RackThroughputModel,
+    RackThroughputParams,
+    fit_rack_throughput_params,
+)
+
+
+@pytest.fixture
+def params() -> RackThroughputParams:
+    return RackThroughputParams(
+        alpha_grad=0.1,
+        beta_grad=0.01,
+        alpha_sync_local=0.02,
+        beta_sync_local=0.001,
+        alpha_sync_node=0.08,
+        beta_sync_node=0.004,
+        alpha_sync_rack=0.2,
+        beta_sync_rack=0.01,
+        gamma=2.0,
+    )
+
+
+class TestModel:
+    def test_locality_tiers_ordered(self, params):
+        # More locality -> cheaper synchronization.
+        model = RackThroughputModel(params)
+        local = float(model.t_sync(1, 1, 4))
+        node = float(model.t_sync(1, 2, 4))
+        rack = float(model.t_sync(2, 2, 4))
+        assert local < node < rack
+
+    def test_single_gpu_no_sync(self, params):
+        model = RackThroughputModel(params)
+        assert float(model.t_sync(1, 1, 1)) == 0.0
+
+    def test_reduces_to_base_within_one_rack(self, params):
+        # With one rack, tiers match the base model's local/node split.
+        model = RackThroughputModel(params)
+        assert float(model.t_sync(1, 1, 4)) == pytest.approx(0.02 + 0.001 * 2)
+        assert float(model.t_sync(1, 3, 6)) == pytest.approx(0.08 + 0.004 * 4)
+
+    def test_throughput_cross_rack_lower(self, params):
+        model = RackThroughputModel(params)
+        same_rack = float(model.throughput(1, 4, 16, 2048))
+        cross_rack = float(model.throughput(2, 4, 16, 2048))
+        assert cross_rack < same_rack
+
+    def test_vector_round_trip(self, params):
+        assert RackThroughputParams.from_vector(params.as_vector()) == params
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            RackThroughputParams(-1, 0, 0, 0, 0, 0, 0, 0, 2.0)
+        with pytest.raises(ValueError):
+            RackProfileEntry(2, 1, 4, 128, 0.1)  # racks > nodes
+
+
+class TestFitting:
+    def _observations(self, params, noise=0.0, seed=0):
+        model = RackThroughputModel(params)
+        rng = np.random.default_rng(seed)
+        entries = []
+        placements = [
+            (1, 1, 1),
+            (1, 1, 4),
+            (1, 2, 8),
+            (1, 4, 16),
+            (2, 4, 16),
+            (2, 8, 32),
+            (4, 8, 32),
+        ]
+        for racks, nodes, gpus in placements:
+            for m in (128, 256, 512, 1024):
+                t = float(model.t_iter(racks, nodes, gpus, m))
+                if noise:
+                    t *= float(rng.lognormal(sigma=noise))
+                entries.append(RackProfileEntry(racks, nodes, gpus, m, t))
+        return entries
+
+    def test_recovers_predictions(self, params):
+        fitted = RackThroughputModel(
+            fit_rack_throughput_params(self._observations(params))
+        )
+        truth = RackThroughputModel(params)
+        for racks, nodes, gpus, m in [(1, 2, 8, 512), (2, 4, 16, 1024), (4, 8, 32, 512)]:
+            assert float(fitted.t_iter(racks, nodes, gpus, m)) == pytest.approx(
+                float(truth.t_iter(racks, nodes, gpus, m)), rel=0.08
+            )
+
+    def test_robust_to_noise(self, params):
+        fitted = RackThroughputModel(
+            fit_rack_throughput_params(self._observations(params, noise=0.05))
+        )
+        truth = RackThroughputModel(params)
+        assert float(fitted.t_iter(2, 4, 16, 512)) == pytest.approx(
+            float(truth.t_iter(2, 4, 16, 512)), rel=0.2
+        )
+
+    def test_unseen_rack_tier_pinned(self, params):
+        # Only single-rack observations: rack parameters stay zero and the
+        # model optimistically predicts no extra cross-rack cost.
+        entries = [
+            e for e in self._observations(params) if e.num_racks == 1
+        ]
+        fitted = fit_rack_throughput_params(entries)
+        assert fitted.alpha_sync_rack == 0.0
+        assert fitted.beta_sync_rack == 0.0
+
+    def test_no_observations_raises(self):
+        with pytest.raises(ValueError):
+            fit_rack_throughput_params([])

@@ -1,0 +1,143 @@
+"""Tests for PolluxSched: fitness weighting and cluster optimization."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, validate_allocation_matrix
+from repro.core import (
+    AgentReport,
+    EfficiencyModel,
+    GAConfig,
+    PolluxSched,
+    PolluxSchedConfig,
+    SchedJobInfo,
+    job_weight,
+)
+from repro.workload import MODEL_ZOO
+
+
+def make_report(model_name="resnet18-cifar10", phi=1000.0, max_gpus_seen=8):
+    profile = MODEL_ZOO[model_name]
+    return AgentReport(
+        throughput_params=profile.theta_true,
+        grad_noise_scale=phi,
+        init_batch_size=float(profile.init_batch_size),
+        limits=profile.limits,
+        max_gpus_seen=max_gpus_seen,
+    )
+
+
+def make_job(job_id, num_nodes=4, gputime=0.0, alloc=None, **kwargs):
+    if alloc is None:
+        alloc = np.zeros(num_nodes, dtype=np.int64)
+    return SchedJobInfo(
+        job_id=job_id,
+        report=make_report(**kwargs),
+        current_alloc=alloc,
+        gputime=gputime,
+    )
+
+
+@pytest.fixture
+def sched(small_cluster, quick_ga) -> PolluxSched:
+    return PolluxSched(
+        small_cluster, PolluxSchedConfig(ga=quick_ga), seed=0
+    )
+
+
+class TestJobWeight:
+    def test_weight_one_below_threshold(self):
+        assert job_weight(100.0, 4 * 3600.0, 0.5) == 1.0
+        assert job_weight(4 * 3600.0, 4 * 3600.0, 0.5) == 1.0
+
+    def test_decay_above_threshold(self):
+        thres = 4 * 3600.0
+        w = job_weight(16 * 3600.0, thres, 0.5)
+        assert w == pytest.approx((4.0 / 16.0) ** 0.5)
+
+    def test_lambda_zero_disables_decay(self):
+        assert job_weight(1e9, 4 * 3600.0, 0.0) == 1.0
+
+    def test_larger_lambda_decays_faster(self):
+        thres = 4 * 3600.0
+        w_half = job_weight(40 * 3600.0, thres, 0.5)
+        w_one = job_weight(40 * 3600.0, thres, 1.0)
+        assert w_one < w_half
+
+
+class TestOptimize:
+    def test_empty_round(self, sched):
+        assert sched.optimize([]) == {}
+
+    def test_allocations_are_feasible(self, sched, small_cluster):
+        jobs = [make_job(f"job-{i}") for i in range(4)]
+        allocations = sched.optimize(jobs)
+        matrix = np.stack([allocations[j.job_id] for j in jobs])
+        assert not validate_allocation_matrix(
+            matrix, small_cluster, forbid_interference=True
+        )
+
+    def test_all_jobs_get_some_gpus_when_abundant(self, sched):
+        jobs = [make_job(f"job-{i}") for i in range(2)]
+        allocations = sched.optimize(jobs)
+        for job in jobs:
+            assert allocations[job.job_id].sum() >= 1
+
+    def test_respects_exploration_cap(self, sched):
+        # A job that has never run can get at most 1 GPU (Sec. 4.1).
+        jobs = [make_job("fresh", max_gpus_seen=0)]
+        allocations = sched.optimize(jobs)
+        assert allocations["fresh"].sum() <= 1
+
+    def test_duplicate_ids_rejected(self, sched):
+        jobs = [make_job("same"), make_job("same")]
+        with pytest.raises(ValueError):
+            sched.optimize(jobs)
+
+    def test_population_carries_over(self, sched):
+        jobs = [make_job(f"job-{i}") for i in range(3)]
+        sched.optimize(jobs)
+        assert sched._population is not None
+        # Next round with one job finished and one new job.
+        jobs2 = [make_job("job-0"), make_job("job-2"), make_job("job-9")]
+        allocations = sched.optimize(jobs2)
+        assert set(allocations) == {"job-0", "job-2", "job-9"}
+
+    def test_weight_decay_prefers_young_jobs(self, small_cluster):
+        config = PolluxSchedConfig(
+            ga=GAConfig(population_size=30, generations=25, seed=0),
+            weight_decay=1.0,
+            gputime_thres=3600.0,
+        )
+        sched = PolluxSched(small_cluster, config, seed=0)
+        jobs = [
+            make_job("old", gputime=200 * 3600.0),
+            make_job("young", gputime=0.0),
+        ]
+        allocations = sched.optimize(jobs)
+        assert allocations["young"].sum() >= allocations["old"].sum()
+
+    def test_set_cluster_resets_population_on_resize(self, sched, small_cluster):
+        jobs = [make_job("a")]
+        sched.optimize(jobs)
+        sched.set_cluster(ClusterSpec.homogeneous(8, 4))
+        assert sched._population is None
+
+    def test_utility_of_empty_matrix_is_zero(self, sched):
+        jobs = [make_job("a")]
+        matrix = np.zeros((1, 4), dtype=np.int64)
+        assert sched.utility(jobs, matrix) == 0.0
+
+
+class TestInterferenceConstraint:
+    def test_forbidden_by_default(self, small_cluster, quick_ga):
+        config = PolluxSchedConfig(ga=quick_ga)
+        sched = PolluxSched(small_cluster, config, seed=0)
+        # Many scalable jobs fighting for nodes: result must still respect
+        # the at-most-one-distributed-job-per-node constraint.
+        jobs = [make_job(f"job-{i}", max_gpus_seen=16) for i in range(4)]
+        allocations = sched.optimize(jobs)
+        matrix = np.stack([allocations[j.job_id] for j in jobs])
+        assert not validate_allocation_matrix(
+            matrix, small_cluster, forbid_interference=True
+        )

@@ -1,0 +1,210 @@
+"""Tests for the scheduling policies (Pollux adapter + baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, validate_allocation_matrix
+from repro.core import GAConfig, PolluxSchedConfig
+from repro.schedulers import (
+    OptimusScheduler,
+    OrElasticAutoscaler,
+    OrElasticScheduler,
+    PolluxScheduler,
+    TiresiasScheduler,
+)
+from repro.sim.job import SimJob
+from repro.workload import MODEL_ZOO, JobSpec
+
+
+def make_sim_job(
+    name,
+    model="resnet18-cifar10",
+    submit=0.0,
+    gpus=2,
+    bs=256,
+    num_nodes=4,
+    progress_frac=0.0,
+    gputime=0.0,
+) -> SimJob:
+    spec = JobSpec(
+        name=name,
+        model=MODEL_ZOO[model],
+        submission_time=submit,
+        fixed_num_gpus=gpus,
+        fixed_batch_size=bs,
+    )
+    job = SimJob(spec, num_nodes)
+    job.progress = progress_frac * job.target
+    job.gputime = gputime
+    return job
+
+
+@pytest.fixture
+def cluster() -> ClusterSpec:
+    return ClusterSpec.homogeneous(4, 4)
+
+
+class TestTiresias:
+    def test_allocates_fixed_gpu_counts(self, cluster):
+        sched = TiresiasScheduler()
+        jobs = [make_sim_job("a", gpus=3), make_sim_job("b", gpus=2)]
+        allocations = sched.schedule(0.0, jobs, cluster)
+        assert allocations["a"].sum() == 3
+        assert allocations["b"].sum() == 2
+
+    def test_las_priority_prefers_low_service(self, cluster):
+        sched = TiresiasScheduler(queue_thresholds_gpu_hours=(1.0,))
+        # Cluster with room for only one of the two 16-GPU jobs.
+        heavy = make_sim_job("old", gpus=16, gputime=20 * 3600.0)
+        light = make_sim_job("new", gpus=16, gputime=0.0)
+        allocations = sched.schedule(0.0, [heavy, light], cluster)
+        assert allocations["new"].sum() == 16
+        assert allocations["old"].sum() == 0
+
+    def test_fifo_within_queue(self, cluster):
+        sched = TiresiasScheduler()
+        first = make_sim_job("first", submit=0.0, gpus=16)
+        second = make_sim_job("second", submit=10.0, gpus=16)
+        allocations = sched.schedule(0.0, [second, first], cluster)
+        assert allocations["first"].sum() == 16
+        assert allocations["second"].sum() == 0
+
+    def test_keeps_running_allocation_stable(self, cluster):
+        sched = TiresiasScheduler()
+        job = make_sim_job("a", gpus=4)
+        job.allocation = np.array([0, 4, 0, 0])
+        allocations = sched.schedule(0.0, [job], cluster)
+        np.testing.assert_array_equal(allocations["a"], [0, 4, 0, 0])
+
+    def test_consolidates_replicas(self, cluster):
+        sched = TiresiasScheduler()
+        jobs = [make_sim_job("a", gpus=4)]
+        allocations = sched.schedule(0.0, jobs, cluster)
+        assert (allocations["a"] > 0).sum() == 1
+
+    def test_requests_capped_to_cluster(self, cluster):
+        sched = TiresiasScheduler()
+        jobs = [make_sim_job("a", gpus=64)]
+        allocations = sched.schedule(0.0, jobs, cluster)
+        assert allocations["a"].sum() == cluster.total_gpus
+
+    def test_feasible_matrix(self, cluster):
+        sched = TiresiasScheduler()
+        jobs = [make_sim_job(f"j{i}", gpus=3) for i in range(8)]
+        allocations = sched.schedule(0.0, jobs, cluster)
+        matrix = np.stack([allocations[j.name] for j in jobs])
+        assert not validate_allocation_matrix(matrix, cluster)
+
+
+class TestOptimus:
+    def test_min_gpus_for_large_batch(self, cluster):
+        sched = OptimusScheduler()
+        # Batch 2048 needs 2 GPUs at max_local_bsz=1024.
+        job = make_sim_job("big-batch", bs=2048)
+        allocations = sched.schedule(0.0, [job], cluster)
+        assert allocations["big-batch"].sum() >= 2
+
+    def test_gives_spare_gpus_to_scalable_job(self, cluster):
+        sched = OptimusScheduler()
+        job = make_sim_job("only", bs=512)
+        allocations = sched.schedule(0.0, [job], cluster)
+        assert allocations["only"].sum() > 1
+
+    def test_short_jobs_not_starved(self, cluster):
+        sched = OptimusScheduler()
+        big = make_sim_job("imagenet", model="resnet50-imagenet", bs=256)
+        smalls = [make_sim_job(f"s{i}", bs=256) for i in range(4)]
+        allocations = sched.schedule(0.0, [big] + smalls, cluster)
+        for small in smalls:
+            assert allocations[small.name].sum() >= 1
+
+    def test_reallocation_interval_damping(self, cluster):
+        sched = OptimusScheduler(reallocation_interval=600.0)
+        job = make_sim_job("a", bs=512)
+        first = sched.schedule(0.0, [job], cluster)
+        job.allocation = first["a"]
+        job.progress = 0.5 * job.target  # would normally change the counts
+        second = sched.schedule(60.0, [job], cluster)
+        np.testing.assert_array_equal(second["a"], first["a"])
+        # After the interval, reallocation happens again.
+        third = sched.schedule(700.0, [job], cluster)
+        assert third["a"].sum() > 0
+
+    def test_new_job_triggers_fresh_allocation(self, cluster):
+        sched = OptimusScheduler(reallocation_interval=600.0)
+        job_a = make_sim_job("a", bs=512)
+        sched.schedule(0.0, [job_a], cluster)
+        job_b = make_sim_job("b", bs=512)
+        allocations = sched.schedule(60.0, [job_a, job_b], cluster)
+        assert allocations["b"].sum() >= 1
+
+    def test_feasible_matrix(self, cluster):
+        sched = OptimusScheduler()
+        jobs = [make_sim_job(f"j{i}", bs=256) for i in range(6)]
+        allocations = sched.schedule(0.0, jobs, cluster)
+        matrix = np.stack([allocations[j.name] for j in jobs])
+        assert not validate_allocation_matrix(matrix, cluster)
+
+
+class TestPolluxAdapter:
+    def test_schedules_and_respects_constraints(self, cluster):
+        sched = PolluxScheduler(
+            cluster,
+            PolluxSchedConfig(ga=GAConfig(population_size=16, generations=8)),
+        )
+        jobs = [make_sim_job(f"j{i}") for i in range(3)]
+        for job in jobs:
+            job.agent.record_iteration(1, 1, 128, 0.1)
+        allocations = sched.schedule(0.0, jobs, cluster)
+        matrix = np.stack([allocations[j.name] for j in jobs])
+        assert not validate_allocation_matrix(
+            matrix, cluster, forbid_interference=True
+        )
+
+    def test_current_utility_bounds(self, cluster):
+        sched = PolluxScheduler(
+            cluster,
+            PolluxSchedConfig(ga=GAConfig(population_size=16, generations=8)),
+        )
+        jobs = [make_sim_job("a")]
+        jobs[0].allocation = np.array([1, 0, 0, 0])
+        util = sched.current_utility(jobs)
+        assert 0.0 <= util <= 1.0
+        assert sched.current_utility([]) == 0.0
+
+
+class TestOrElastic:
+    def test_single_job_gets_everything(self, cluster):
+        sched = OrElasticScheduler()
+        job = make_sim_job("solo", model="resnet50-imagenet", bs=256)
+        allocations = sched.schedule(0.0, [job], cluster)
+        assert allocations["solo"].sum() == cluster.total_gpus
+        # Batch size set to the throughput-optimal (memory-capped) value.
+        assert job.batch_size == min(
+            job.model.limits.max_batch_size,
+            cluster.total_gpus * job.model.limits.max_local_bsz,
+        )
+
+    def test_multi_job_rejected(self, cluster):
+        sched = OrElasticScheduler()
+        jobs = [make_sim_job("a"), make_sim_job("b")]
+        with pytest.raises(ValueError):
+            sched.schedule(0.0, jobs, cluster)
+
+    def test_autoscaler_scales_out_for_scalable_model(self, cluster):
+        autoscaler = OrElasticAutoscaler(max_nodes=16, marginal_efficiency=0.5)
+        job = make_sim_job("solo", model="resnet50-imagenet", bs=256)
+        nodes = autoscaler.desired_nodes(job)
+        assert nodes > 4  # ImageNet scales well on throughput alone
+
+    def test_autoscaler_is_progress_independent(self, cluster):
+        # Throughput-based scaling ignores statistical efficiency: the
+        # decision is identical early and late in training (Fig. 10a).
+        autoscaler = OrElasticAutoscaler(max_nodes=16)
+        early = make_sim_job("e", model="resnet50-imagenet", progress_frac=0.01)
+        late = make_sim_job("l", model="resnet50-imagenet", progress_frac=0.95)
+        assert autoscaler.desired_nodes(early) == autoscaler.desired_nodes(late)
+
+    def test_empty_decide_returns_min(self, cluster):
+        autoscaler = OrElasticAutoscaler(min_nodes=2, max_nodes=8)
+        assert autoscaler.decide(0.0, [], cluster, OrElasticScheduler()) == 2

@@ -1,0 +1,98 @@
+"""Tests for simulated job state and progress accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim.job import JobPhase, SimJob
+from repro.workload import MODEL_ZOO, JobSpec
+
+
+def make_spec(model="resnet18-cifar10", submit=0.0) -> JobSpec:
+    profile = MODEL_ZOO[model]
+    return JobSpec(
+        name="test-job",
+        model=profile,
+        submission_time=submit,
+        fixed_num_gpus=4,
+        fixed_batch_size=512,
+    )
+
+
+@pytest.fixture
+def job() -> SimJob:
+    return SimJob(make_spec(), num_nodes=4)
+
+
+class TestLifecycle:
+    def test_initial_phase_pending(self, job):
+        assert job.phase(0.0) == JobPhase.PENDING
+        assert job.num_gpus == 0
+        assert not job.complete
+
+    def test_first_allocation_is_cold_start(self, job):
+        job.apply_allocation(np.array([2, 0, 0, 0]), now=100.0, restart_delay=30.0)
+        assert job.phase(110.0) == JobPhase.RESTARTING
+        assert job.phase(140.0) == JobPhase.RUNNING
+        assert job.start_time == 100.0
+        assert job.num_restarts == 0  # cold start is not a re-start
+
+    def test_reallocation_counts_restart(self, job):
+        job.apply_allocation(np.array([2, 0, 0, 0]), 0.0, 30.0)
+        job.apply_allocation(np.array([0, 2, 0, 0]), 100.0, 30.0)
+        assert job.num_restarts == 1
+        assert job.restart_until == 130.0
+
+    def test_same_allocation_is_noop(self, job):
+        alloc = np.array([2, 0, 0, 0])
+        job.apply_allocation(alloc, 0.0, 30.0)
+        until = job.restart_until
+        job.apply_allocation(alloc.copy(), 500.0, 30.0)
+        assert job.restart_until == until
+        assert job.num_restarts == 0
+
+    def test_preemption_to_zero(self, job):
+        job.apply_allocation(np.array([2, 0, 0, 0]), 0.0, 30.0)
+        job.apply_allocation(np.zeros(4, dtype=np.int64), 100.0, 30.0)
+        assert job.num_gpus == 0
+        assert job.phase(200.0) == JobPhase.PENDING
+
+    def test_wrong_shape_rejected(self, job):
+        with pytest.raises(ValueError):
+            job.apply_allocation(np.array([1, 0]), 0.0, 30.0)
+
+    def test_jct_requires_finish(self, job):
+        with pytest.raises(RuntimeError):
+            job.jct()
+
+
+class TestGroundTruth:
+    def test_phi_tracks_progress(self, job):
+        phi_start = job.phi_true()
+        job.progress = 0.9 * job.target
+        assert job.phi_true() > phi_start
+
+    def test_efficiency_true_at_m0_is_one(self, job):
+        job.batch_size = float(job.model.init_batch_size)
+        assert job.efficiency_true() == pytest.approx(1.0)
+
+    def test_goodput_le_throughput(self, job):
+        job.apply_allocation(np.array([2, 2, 0, 0]), 0.0, 0.0)
+        job.batch_size = 1024.0
+        assert job.goodput_true() <= job.throughput_true() + 1e-9
+
+    def test_interference_slows_throughput(self, job):
+        job.apply_allocation(np.array([2, 2, 0, 0]), 0.0, 0.0)
+        assert job.throughput_true(slowdown=0.5) == pytest.approx(
+            0.5 * job.throughput_true(slowdown=0.0)
+        )
+
+    def test_distributed_detection(self, job):
+        job.apply_allocation(np.array([4, 0, 0, 0]), 0.0, 0.0)
+        assert not job.is_distributed
+        job.apply_allocation(np.array([2, 2, 0, 0]), 0.0, 0.0)
+        assert job.is_distributed
+
+    def test_zero_gpu_throughput_zero(self, job):
+        assert job.throughput_true() == 0.0
+        with pytest.raises(RuntimeError):
+            job.t_iter_true()

@@ -1,0 +1,234 @@
+"""Tests for the throughput model (Eqn. 8-11) and its online fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.throughput import (
+    ExplorationState,
+    ProfileEntry,
+    ThroughputModel,
+    ThroughputParams,
+    fit_throughput_params,
+)
+
+
+@pytest.fixture
+def params() -> ThroughputParams:
+    return ThroughputParams(
+        alpha_grad=0.1,
+        beta_grad=0.01,
+        alpha_sync_local=0.02,
+        beta_sync_local=0.001,
+        alpha_sync_node=0.08,
+        beta_sync_node=0.004,
+        gamma=2.0,
+    )
+
+
+class TestThroughputParams:
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            ThroughputParams(-0.1, 0.01, 0, 0, 0, 0, 2.0)
+
+    def test_rejects_gamma_out_of_range(self):
+        with pytest.raises(ValueError):
+            ThroughputParams(0.1, 0.01, 0, 0, 0, 0, 0.5)
+        with pytest.raises(ValueError):
+            ThroughputParams(0.1, 0.01, 0, 0, 0, 0, 11.0)
+
+    def test_vector_round_trip(self, params):
+        assert ThroughputParams.from_vector(params.as_vector()) == params
+
+    def test_replace(self, params):
+        changed = params.replace(gamma=3.0)
+        assert changed.gamma == 3.0
+        assert changed.alpha_grad == params.alpha_grad
+
+
+class TestProfileEntry:
+    def test_rejects_more_nodes_than_gpus(self):
+        with pytest.raises(ValueError):
+            ProfileEntry(num_nodes=3, num_gpus=2, batch_size=32, t_iter=0.1)
+
+    def test_rejects_nonpositive_t_iter(self):
+        with pytest.raises(ValueError):
+            ProfileEntry(num_nodes=1, num_gpus=1, batch_size=32, t_iter=0.0)
+
+
+class TestModelEvaluation:
+    def test_t_grad_scales_with_local_batch(self, params):
+        model = ThroughputModel(params)
+        # Same local batch size -> same T_grad.
+        assert float(model.t_grad(1, 64)) == pytest.approx(
+            float(model.t_grad(4, 256))
+        )
+
+    def test_t_sync_zero_for_single_gpu(self, params):
+        model = ThroughputModel(params)
+        assert float(model.t_sync(1, 1)) == 0.0
+
+    def test_t_sync_local_vs_node(self, params):
+        model = ThroughputModel(params)
+        local = float(model.t_sync(1, 4))
+        remote = float(model.t_sync(2, 4))
+        assert local == pytest.approx(0.02 + 0.001 * 2)
+        assert remote == pytest.approx(0.08 + 0.004 * 2)
+        assert remote > local
+
+    def test_t_sync_retrogression_starts_at_k2(self, params):
+        model = ThroughputModel(params)
+        assert float(model.t_sync(1, 2)) == pytest.approx(params.alpha_sync_local)
+
+    def test_t_iter_between_sum_and_max(self, params):
+        model = ThroughputModel(params)
+        tg = float(model.t_grad(4, 256))
+        ts = float(model.t_sync(2, 4))
+        ti = float(model.t_iter(2, 4, 256))
+        assert max(tg, ts) <= ti <= tg + ts
+
+    def test_gamma_one_is_sum(self, params):
+        model = ThroughputModel(params.replace(gamma=1.0))
+        tg = float(model.t_grad(2, 128))
+        ts = float(model.t_sync(2, 2))
+        assert float(model.t_iter(2, 2, 128)) == pytest.approx(tg + ts)
+
+    def test_gamma_large_approaches_max(self, params):
+        model = ThroughputModel(params.replace(gamma=10.0))
+        tg = float(model.t_grad(2, 128))
+        ts = float(model.t_sync(2, 2))
+        assert float(model.t_iter(2, 2, 128)) == pytest.approx(
+            max(tg, ts), rel=0.08
+        )
+
+    def test_throughput_monotone_in_batch_size(self, params):
+        # At fixed K, larger batches amortize sync: throughput rises.
+        model = ThroughputModel(params)
+        batches = np.array([64, 128, 256, 512, 1024], dtype=float)
+        tput = np.asarray(model.throughput(2, 8, batches))
+        assert np.all(np.diff(tput) > 0)
+
+    def test_throughput_improves_with_gpus_at_large_batch(self, params):
+        model = ThroughputModel(params)
+        t4 = float(model.throughput(1, 4, 2048))
+        t8 = float(model.throughput(2, 8, 2048))
+        assert t8 > t4
+
+    def test_amdahl_limit(self, params):
+        # With many GPUs, t_iter is lower-bounded by T_sync (Sec. 2.1).
+        model = ThroughputModel(params)
+        ts = float(model.t_sync(8, 64))
+        assert float(model.t_iter(8, 64, 64)) >= ts
+
+    def test_broadcasting_shapes(self, params):
+        model = ThroughputModel(params)
+        ks = np.array([1.0, 2.0, 4.0, 8.0])[:, None]
+        ms = np.array([64.0, 128.0, 256.0])[None, :]
+        out = model.throughput(2, ks, ms)
+        assert out.shape == (4, 3)
+
+
+class TestExplorationState:
+    def test_initial_pins_everything_syncish(self):
+        state = ExplorationState()
+        pinned = state.pinned_params()
+        assert "alpha_sync_local" in pinned
+        assert "alpha_sync_node" in pinned
+        assert "beta_sync_local" in pinned
+        assert "beta_sync_node" in pinned
+
+    def test_multi_gpu_unpins_alpha_local(self):
+        state = ExplorationState()
+        state.observe(1, 2)
+        assert "alpha_sync_local" not in state.pinned_params()
+        assert "alpha_sync_node" in state.pinned_params()
+
+    def test_multi_node_unpins_alpha_node(self):
+        state = ExplorationState()
+        state.observe(2, 2)
+        assert "alpha_sync_node" not in state.pinned_params()
+
+    def test_three_gpus_unpin_betas(self):
+        state = ExplorationState()
+        state.observe(1, 3)
+        pinned = state.pinned_params()
+        assert "beta_sync_local" not in pinned
+        assert "beta_sync_node" not in pinned
+
+
+class TestFitting:
+    def _observations(self, params, noise=0.0, seed=0):
+        model = ThroughputModel(params)
+        rng = np.random.default_rng(seed)
+        entries = []
+        for nodes, gpus in [(1, 1), (1, 2), (1, 4), (2, 8), (4, 16)]:
+            for m in (64, 128, 256, 512, 1024, 2048):
+                t = float(model.t_iter(nodes, gpus, m))
+                if noise:
+                    t *= float(rng.lognormal(sigma=noise))
+                entries.append(ProfileEntry(nodes, gpus, m, t))
+        return entries
+
+    def test_recovers_noiseless_predictions(self, params):
+        fitted = fit_throughput_params(self._observations(params))
+        truth = ThroughputModel(params)
+        est = ThroughputModel(fitted)
+        for nodes, gpus, m in [(1, 2, 128), (2, 8, 1024), (4, 16, 2048)]:
+            assert float(est.t_iter(nodes, gpus, m)) == pytest.approx(
+                float(truth.t_iter(nodes, gpus, m)), rel=0.05
+            )
+
+    def test_robust_to_noise(self, params):
+        fitted = fit_throughput_params(self._observations(params, noise=0.05))
+        truth = ThroughputModel(params)
+        est = ThroughputModel(fitted)
+        for nodes, gpus, m in [(1, 4, 512), (4, 16, 1024)]:
+            assert float(est.t_iter(nodes, gpus, m)) == pytest.approx(
+                float(truth.t_iter(nodes, gpus, m)), rel=0.15
+            )
+
+    def test_extrapolates_to_unseen_placements(self, params):
+        # Fit without any 16-GPU data; prediction should still be sane.
+        entries = [
+            e for e in self._observations(params) if e.num_gpus < 16
+        ]
+        fitted = fit_throughput_params(entries)
+        est = float(ThroughputModel(fitted).t_iter(4, 16, 2048))
+        truth = float(ThroughputModel(params).t_iter(4, 16, 2048))
+        assert est == pytest.approx(truth, rel=0.5)
+
+    def test_priors_pin_parameters(self, params):
+        state = ExplorationState()
+        state.observe(1, 1)  # single GPU only
+        entries = [
+            e for e in self._observations(params) if e.num_gpus == 1
+        ]
+        fitted = fit_throughput_params(entries, exploration=state)
+        assert fitted.alpha_sync_local == 0.0
+        assert fitted.alpha_sync_node == 0.0
+        assert fitted.beta_sync_local == 0.0
+        assert fitted.beta_sync_node == 0.0
+
+    def test_prior_fit_predicts_perfect_scaling(self, params):
+        state = ExplorationState()
+        state.observe(1, 1)
+        entries = [ProfileEntry(1, 1, 128, 0.5), ProfileEntry(1, 1, 256, 0.9)]
+        fitted = fit_throughput_params(entries, exploration=state)
+        model = ThroughputModel(fitted)
+        t1 = float(model.throughput(1, 1, 128))
+        t4 = float(model.throughput(1, 4, 512))
+        # Under the optimistic prior, 4 GPUs at 4x batch ~ 4x throughput.
+        assert t4 == pytest.approx(4 * t1, rel=0.05)
+
+    def test_no_observations_raises(self):
+        with pytest.raises(ValueError):
+            fit_throughput_params([])
+
+    def test_warm_start_converges(self, params):
+        entries = self._observations(params, noise=0.03)
+        first = fit_throughput_params(entries)
+        second = fit_throughput_params(entries, initial=first, num_restarts=0)
+        m_first = ThroughputModel(first)
+        m_second = ThroughputModel(second)
+        assert float(m_second.t_iter(2, 8, 512)) == pytest.approx(
+            float(m_first.t_iter(2, 8, 512)), rel=0.05
+        )

@@ -1,0 +1,79 @@
+"""Tests for the ElasticTrainer (PolluxAgent on real numpy training)."""
+
+import numpy as np
+import pytest
+
+from repro.training import ElasticTrainer, LinearRegressionProblem
+from repro.workload import MODEL_ZOO
+
+
+@pytest.fixture
+def trainer() -> ElasticTrainer:
+    problem = LinearRegressionProblem(num_examples=2048, dim=16, seed=0)
+    return ElasticTrainer(
+        problem,
+        theta_true=MODEL_ZOO["resnet18-cifar10"].theta_true,
+        init_batch_size=32,
+        init_lr=0.02,
+        max_batch_size=1024,
+        max_local_bsz=256,
+        seed=0,
+    )
+
+
+class TestElasticTrainer:
+    def test_training_reduces_loss(self, trainer):
+        initial = trainer.problem.loss(trainer.optimizer.params)
+        trainer.train(num_iters=150, retune_every=25)
+        assert trainer.problem.loss(trainer.optimizer.params) < initial
+
+    def test_agent_accumulates_profile(self, trainer):
+        trainer.train(num_iters=60, retune_every=20)
+        assert len(trainer.agent.profile_entries()) >= 1
+        assert trainer.agent.grad_noise_scale > 0.0
+
+    def test_snapshots_recorded(self, trainer):
+        snapshots = trainer.train(num_iters=100, retune_every=25)
+        assert len(snapshots) == 4
+        for snap in snapshots:
+            assert snap.batch_size >= 32
+            assert snap.learning_rate > 0
+
+    def test_reallocation_changes_replicas(self, trainer):
+        trainer.train(num_iters=30, retune_every=10)
+        trainer.reallocate(4)
+        assert trainer.num_replicas == 4
+        trainer.train(num_iters=30, retune_every=10)
+        # Agent saw the multi-GPU regime.
+        assert trainer.agent.max_gpus_seen == 4
+        assert trainer.agent.exploration.seen_multi_gpu
+
+    def test_batch_size_multiple_of_replicas(self, trainer):
+        trainer.reallocate(4)
+        trainer.train(num_iters=60, retune_every=20)
+        assert trainer.batch_size % 4 == 0
+
+    def test_batch_grows_with_real_noise_scale(self):
+        # A noisy problem (high GNS) should drive the tuned batch size up
+        # once the agent has measured it.
+        problem = LinearRegressionProblem(
+            num_examples=4096, dim=16, noise_std=3.0, seed=1
+        )
+        trainer = ElasticTrainer(
+            problem,
+            theta_true=MODEL_ZOO["resnet18-cifar10"].theta_true,
+            init_batch_size=32,
+            init_lr=0.01,
+            max_batch_size=4096,
+            max_local_bsz=1024,
+            seed=1,
+        )
+        trainer.reallocate(8)
+        trainer.train(num_iters=120, retune_every=20)
+        assert trainer.batch_size > 32
+
+    def test_rejects_invalid(self, trainer):
+        with pytest.raises(ValueError):
+            trainer.reallocate(0)
+        with pytest.raises(ValueError):
+            trainer.train(num_iters=10, retune_every=0)

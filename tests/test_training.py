@@ -1,0 +1,209 @@
+"""Tests for the numpy training substrate: problems, estimators, AdaScale."""
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    AdaScaleSGD,
+    DataParallelExecutor,
+    DifferencedEstimator,
+    LinearRegressionProblem,
+    LogisticRegressionProblem,
+    MLPProblem,
+    multi_replica_estimate,
+)
+
+
+@pytest.fixture(params=["linear", "logistic", "mlp"])
+def problem(request):
+    if request.param == "linear":
+        return LinearRegressionProblem(num_examples=512, dim=8, seed=1)
+    if request.param == "logistic":
+        return LogisticRegressionProblem(num_examples=512, dim=8, seed=1)
+    return MLPProblem(num_examples=512, input_dim=4, hidden_dim=6, seed=1)
+
+
+class TestProblems:
+    def test_gradient_matches_per_example_mean(self, problem, rng):
+        params = problem.init_params(rng)
+        indices = np.arange(64)
+        per_ex = problem.per_example_gradients(params, indices)
+        np.testing.assert_allclose(
+            per_ex.mean(axis=0), problem.gradient(params, indices), atol=1e-10
+        )
+
+    def test_gradient_matches_finite_differences(self, problem, rng):
+        params = problem.init_params(rng)
+        indices = np.arange(32)
+        grad = problem.gradient(params, indices)
+        eps = 1e-6
+        for coord in range(0, len(params), max(1, len(params) // 5)):
+            bumped = params.copy()
+            bumped[coord] += eps
+            fd = (problem.loss(bumped, indices) - problem.loss(params, indices)) / eps
+            assert grad[coord] == pytest.approx(fd, abs=1e-4)
+
+    def test_sgd_reduces_loss(self, problem, rng):
+        params = problem.init_params(rng)
+        initial = problem.loss(params)
+        for _ in range(200):
+            batch = rng.choice(problem.num_examples, size=32, replace=False)
+            params = params - 0.05 * problem.gradient(params, batch)
+        assert problem.loss(params) < initial
+
+
+class TestMultiReplicaEstimator:
+    def test_recovers_true_statistics(self, rng):
+        problem = LinearRegressionProblem(num_examples=4096, dim=16, seed=2)
+        params = problem.init_params(rng)
+        all_grads = problem.per_example_gradients(
+            params, np.arange(problem.num_examples)
+        )
+        true_mu2 = float(np.linalg.norm(all_grads.mean(axis=0)) ** 2)
+        true_trace = float(all_grads.var(axis=0, ddof=1).sum())
+
+        executor = DataParallelExecutor(problem, num_replicas=8, seed=3)
+        estimates = [executor.step(params, 512).stats for _ in range(60)]
+        phi_est = np.mean([e.var * e.batch_size / e.sqr for e in estimates])
+        assert phi_est == pytest.approx(true_trace / true_mu2, rel=0.25)
+
+    def test_requires_two_replicas(self):
+        with pytest.raises(ValueError):
+            multi_replica_estimate([np.ones(4)], local_batch_size=8)
+
+    def test_identical_grads_zero_variance(self):
+        grads = [np.ones(16), np.ones(16)]
+        est = multi_replica_estimate(grads, local_batch_size=8)
+        assert est.var == 0.0
+        assert est.sqr == pytest.approx(16.0)
+
+
+class TestDifferencedEstimator:
+    def test_needs_two_gradients(self):
+        est = DifferencedEstimator(batch_size=32)
+        assert est.update(np.ones(8)) is None
+        assert est.update(np.ones(8)) is not None
+
+    def test_constant_gradient_zero_variance(self):
+        est = DifferencedEstimator(batch_size=32)
+        est.update(np.ones(8))
+        out = est.update(np.ones(8))
+        assert out.var == 0.0
+        assert out.sqr == pytest.approx(8.0)
+
+    def test_agrees_with_multi_replica(self, rng):
+        problem = LinearRegressionProblem(num_examples=4096, dim=16, seed=4)
+        params = problem.init_params(rng)
+
+        multi = DataParallelExecutor(problem, num_replicas=8, seed=5)
+        phi_multi = np.mean(
+            [
+                e.stats.noise_scale()
+                for e in (multi.step(params, 512) for _ in range(60))
+            ]
+        )
+        single = DataParallelExecutor(problem, num_replicas=1, seed=6)
+        phis = []
+        for _ in range(120):
+            result = single.step(params, 512)
+            if result.stats is not None and result.stats.sqr > 0:
+                phis.append(result.stats.noise_scale())
+        assert np.mean(phis) == pytest.approx(phi_multi, rel=0.35)
+
+    def test_reset_clears_history(self):
+        est = DifferencedEstimator(batch_size=32)
+        est.update(np.ones(8))
+        est.reset()
+        assert est.update(np.ones(8)) is None
+
+    def test_dimension_change_rejected(self):
+        est = DifferencedEstimator(batch_size=32)
+        est.update(np.ones(8))
+        with pytest.raises(ValueError):
+            est.update(np.ones(9))
+
+
+class TestDataParallelExecutor:
+    def test_local_grads_count(self, rng):
+        problem = LinearRegressionProblem(num_examples=512, dim=8, seed=7)
+        executor = DataParallelExecutor(problem, num_replicas=4, seed=8)
+        result = executor.step(problem.init_params(rng), 64)
+        assert len(result.local_grads) == 4
+        assert result.batch_size == 64
+
+    def test_allreduce_is_mean(self, rng):
+        problem = LinearRegressionProblem(num_examples=512, dim=8, seed=7)
+        executor = DataParallelExecutor(problem, num_replicas=4, seed=8)
+        result = executor.step(problem.init_params(rng), 64)
+        np.testing.assert_allclose(
+            result.grad, np.mean(result.local_grads, axis=0), atol=1e-12
+        )
+
+    def test_resize(self):
+        problem = LinearRegressionProblem(num_examples=512, dim=8, seed=7)
+        executor = DataParallelExecutor(problem, num_replicas=1, seed=8)
+        executor.resize(4)
+        assert executor.num_replicas == 4
+
+    def test_rejects_batch_smaller_than_replicas(self, rng):
+        problem = LinearRegressionProblem(num_examples=512, dim=8, seed=7)
+        executor = DataParallelExecutor(problem, num_replicas=8, seed=8)
+        with pytest.raises(ValueError):
+            executor.step(problem.init_params(rng), 4)
+
+
+class TestAdaScaleSGD:
+    def test_training_converges(self):
+        problem = LinearRegressionProblem(num_examples=2048, dim=16, seed=9)
+        opt = AdaScaleSGD(problem, init_batch_size=32, init_lr=0.02, seed=9)
+        iters = opt.train_to_loss(0.3, batch_size=32, max_iters=3000)
+        assert iters < 3000
+
+    def test_gain_reduces_iterations_at_large_batch(self):
+        # AdaScale's core promise: a step at batch m is worth r_t steps at
+        # m0, so larger batches need proportionally fewer iterations.
+        problem = LinearRegressionProblem(num_examples=4096, dim=16, seed=10)
+
+        def iters_at(bs):
+            opt = AdaScaleSGD(
+                problem,
+                DataParallelExecutor(problem, num_replicas=4, seed=11),
+                init_batch_size=32,
+                init_lr=0.02,
+                seed=11,
+            )
+            return opt.train_to_loss(0.3, batch_size=bs, max_iters=5000)
+
+        iters_small = iters_at(32)
+        iters_large = iters_at(256)
+        assert iters_large < iters_small
+
+    def test_scale_invariant_iters_accumulate_gain(self):
+        problem = LinearRegressionProblem(num_examples=1024, dim=8, seed=12)
+        opt = AdaScaleSGD(
+            problem,
+            DataParallelExecutor(problem, num_replicas=4, seed=12),
+            init_batch_size=32,
+            init_lr=0.01,
+            seed=12,
+        )
+        opt.train(num_iters=20, batch_size=128)
+        assert opt.scale_invariant_iters == pytest.approx(
+            sum(opt.log.gains), rel=1e-9
+        )
+        assert opt.scale_invariant_iters >= 20.0  # gain >= 1 at m > m0
+
+    def test_log_lengths_match(self):
+        problem = LinearRegressionProblem(num_examples=1024, dim=8, seed=13)
+        opt = AdaScaleSGD(problem, init_batch_size=32, init_lr=0.01, seed=13)
+        opt.train(num_iters=15)
+        assert len(opt.log.losses) == 15
+        assert len(opt.log.batch_sizes) == 15
+        assert len(opt.log.noise_scales) == 15
+
+    def test_rejects_invalid(self):
+        problem = LinearRegressionProblem(num_examples=128, dim=4, seed=14)
+        with pytest.raises(ValueError):
+            AdaScaleSGD(problem, init_batch_size=0)
+        with pytest.raises(ValueError):
+            AdaScaleSGD(problem, init_lr=-1.0)
