@@ -1,0 +1,104 @@
+"""Heterogeneous fleet: the Table-2 comparison on a two-type cluster.
+
+Runs Pollux vs Optimus+Oracle vs Tiresias on the same trace over a mixed
+T4 + V100 fleet (a two-type cluster scaled to the benchmark scale's node
+count).  Jobs use realistic *user-submitted* configurations (the Sec. 5.3.1
+setting, as in Fig. 7): heterogeneity compounds the baselines' inability to
+adapt, while Pollux's genetic algorithm sees per-type speedup tables (a
+V100 placement scores ~2x a T4 placement of the same size) and re-tunes
+each job's batch size for the device type it lands on.  Pollux should
+achieve the lowest average JCT on the mixed fleet.
+
+Reported per policy: the Table-2 headline numbers plus per-GPU-type
+utilization.
+
+Run:  pytest benchmarks/bench_heterogeneous.py --benchmark-only -s
+"""
+
+from repro.cluster import ClusterSpec
+from repro.sim import average_summaries
+
+from .common import SCALE, print_header, run_policy
+
+POLICIES = ("pollux", "optimus+oracle", "tiresias")
+
+
+def make_heterogeneous_cluster(scale=SCALE) -> ClusterSpec:
+    """A two-type fleet with the scale's node count: ~1/3 V100, ~2/3 T4.
+
+    Fastest group first, per the :meth:`ClusterSpec.heterogeneous`
+    convention (shrink sheds the slow T4 nodes first).
+    """
+    num_v100 = max(1, scale.num_nodes // 3)
+    num_t4 = max(1, scale.num_nodes - num_v100)
+    return ClusterSpec.heterogeneous(
+        (
+            ("v100", num_v100, scale.gpus_per_node),
+            ("t4", num_t4, scale.gpus_per_node),
+        )
+    )
+
+
+def run_heterogeneous():
+    cluster = make_heterogeneous_cluster()
+    per_policy = {p: [] for p in POLICIES}
+    for seed in SCALE.seeds:
+        for policy in POLICIES:
+            per_policy[policy].append(
+                run_policy(
+                    policy, seed, cluster=cluster, user_configured_fraction=1.0
+                )
+            )
+    summaries = {p: average_summaries(rs) for p, rs in per_policy.items()}
+    per_type = {
+        p: {
+            name: sum(r.per_type_utilization().get(name, 0.0) for r in rs)
+            / len(rs)
+            for name in ("t4", "v100")
+        }
+        for p, rs in per_policy.items()
+    }
+    return summaries, per_type
+
+
+def test_heterogeneous_scheduler_comparison(benchmark):
+    summaries, per_type = benchmark.pedantic(
+        run_heterogeneous, rounds=1, iterations=1
+    )
+    cluster = make_heterogeneous_cluster()
+    print_header("Heterogeneous fleet: scheduling policies, 2 GPU types")
+    print(
+        "cluster: "
+        + ", ".join(
+            f"{int(c)} {t.name} GPUs (speed {t.compute_speed:g}x)"
+            for t, c in zip(cluster.gpu_types, cluster.type_capacities())
+        )
+    )
+    print(
+        f"{'policy':<18s} {'avg JCT':>8s} {'p99 JCT':>8s} {'makespan':>9s} "
+        f"{'t4 util':>8s} {'v100 util':>10s}"
+    )
+    for policy in POLICIES:
+        s = summaries[policy]
+        u = per_type[policy]
+        print(
+            f"{policy:<18s} {s['avg_jct_hours']:7.2f}h {s['p99_jct_hours']:7.2f}h "
+            f"{s['makespan_hours']:8.2f}h {u['t4'] * 100:7.0f}% "
+            f"{u['v100'] * 100:9.0f}%"
+        )
+
+    pollux = summaries["pollux"]
+    for baseline in ("optimus+oracle", "tiresias"):
+        print(
+            f"JCT reduction vs {baseline}: "
+            f"{(1 - pollux['avg_jct_hours'] / summaries[baseline]['avg_jct_hours']) * 100:.0f}%"
+        )
+
+    # Every policy must drive the mixed fleet end-to-end.
+    assert all(s["unfinished_jobs"] == 0 for s in summaries.values())
+    if SCALE.name == "smoke":
+        return
+    # Goodput-driven, type-aware allocation beats the greedy baselines on
+    # the same heterogeneous trace.
+    assert pollux["avg_jct_hours"] < summaries["optimus+oracle"]["avg_jct_hours"]
+    assert pollux["avg_jct_hours"] < summaries["tiresias"]["avg_jct_hours"]

@@ -54,6 +54,12 @@ def test_table2_scheduler_comparison(benchmark):
         f"(paper: 50%)"
     )
 
+    # The smoke scale (CI) only checks that the pipeline runs end-to-end;
+    # a handful of jobs on 8 GPUs is too small for ordering assertions.
+    if SCALE.name == "smoke":
+        assert all(s["unfinished_jobs"] == 0 for s in summaries.values())
+        return
+
     # Shape assertions: Pollux achieves the best average JCT.  The margin
     # over the *idealized* tuned baselines is scale-dependent (the paper
     # notes this workload "only serves for evaluating Tiresias in an ideal

@@ -8,8 +8,9 @@ the *shape* of every result (orderings, ratios, crossovers).  Set
 
     REPRO_BENCH_SCALE=paper
 
-to run the full-scale configuration, and ``REPRO_BENCH_SEEDS=<n>`` to
-average over more trace seeds.
+to run the full-scale configuration, ``REPRO_BENCH_SCALE=smoke`` for a
+<60 s CI smoke run (tiny trace, shape assertions relaxed), and
+``REPRO_BENCH_SEEDS=<n>`` to average over more trace seeds.
 """
 
 from __future__ import annotations
@@ -73,9 +74,25 @@ _PAPER = BenchScale(
     max_hours=200.0,
 )
 
+# CI smoke preset: finishes in well under a minute; the shape assertions in
+# the benchmarks are relaxed at this scale (too small to be meaningful).
+_SMOKE = BenchScale(
+    name="smoke",
+    num_nodes=2,
+    gpus_per_node=4,
+    num_jobs=8,
+    duration_hours=1.0,
+    ga_population=10,
+    ga_generations=5,
+    seeds=(1,),
+    max_hours=30.0,
+)
+
+_SCALES = {"paper": _PAPER, "smoke": _SMOKE, "reduced": _REDUCED}
+
 
 def _select_scale() -> BenchScale:
-    scale = _PAPER if os.environ.get("REPRO_BENCH_SCALE") == "paper" else _REDUCED
+    scale = _SCALES.get(os.environ.get("REPRO_BENCH_SCALE", "reduced"), _REDUCED)
     seeds_env = os.environ.get("REPRO_BENCH_SEEDS")
     if seeds_env:
         scale = BenchScale(
@@ -124,9 +141,15 @@ def run_policy(
     duration_hours: Optional[float] = None,
     interference_slowdown: float = 0.0,
     pollux_kwargs: Optional[Dict] = None,
+    cluster: Optional[ClusterSpec] = None,
 ) -> SimResult:
-    """Run one policy on one generated trace."""
-    cluster = make_cluster(scale)
+    """Run one policy on one generated trace.
+
+    ``cluster`` overrides the scale's homogeneous cluster (used by the
+    heterogeneous benchmark to run the same trace on a typed fleet).
+    """
+    if cluster is None:
+        cluster = make_cluster(scale)
     trace = generate_trace(
         TraceConfig(
             num_jobs=num_jobs if num_jobs is not None else scale.num_jobs,
@@ -136,6 +159,7 @@ def run_policy(
             ),
             seed=seed,
             max_gpus=cluster.total_gpus,
+            gpus_per_node=cluster.max_gpus_per_node,
             user_configured_fraction=user_configured_fraction,
         )
     )

@@ -1,22 +1,35 @@
-"""Cluster substrate: nodes, cluster specifications, allocation matrices."""
+"""Cluster substrate: GPU types, nodes, cluster specs, allocation matrices."""
 
-from .spec import ClusterSpec, NodeSpec
+from .spec import (
+    CLUSTER_PRESETS,
+    DEFAULT_GPU_TYPE,
+    GPU_TYPES,
+    ClusterSpec,
+    GpuType,
+    NodeSpec,
+)
 from .allocation import (
     allocation_num_gpus,
     allocation_num_nodes,
     canonical_allocation,
     empty_allocation,
     pack_allocation,
+    pack_allocation_typed,
     validate_allocation_matrix,
 )
 
 __all__ = [
+    "CLUSTER_PRESETS",
+    "DEFAULT_GPU_TYPE",
+    "GPU_TYPES",
     "ClusterSpec",
+    "GpuType",
     "NodeSpec",
     "allocation_num_gpus",
     "allocation_num_nodes",
     "canonical_allocation",
     "empty_allocation",
     "pack_allocation",
+    "pack_allocation_typed",
     "validate_allocation_matrix",
 ]

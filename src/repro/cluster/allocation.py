@@ -21,6 +21,7 @@ __all__ = [
     "allocation_num_nodes",
     "canonical_allocation",
     "pack_allocation",
+    "pack_allocation_typed",
     "validate_allocation_matrix",
     "distributed_job_mask",
 ]
@@ -104,6 +105,44 @@ def pack_allocation(
             free[node] -= take
             remaining -= take
     return alloc
+
+
+def pack_allocation_typed(
+    cluster: ClusterSpec,
+    num_gpus: int,
+    free_gpus: np.ndarray,
+) -> np.ndarray:
+    """Type-aware greedy placement: prefer faster GPU types.
+
+    Tries to satisfy the whole request inside a single GPU-type group,
+    visiting groups in descending compute-speed order (the greedy
+    heterogeneity-aware behavior of the baseline schedulers: a job placed
+    entirely on V100 nodes runs at the V100 rate, while a placement that
+    straddles types is gated by its slowest device).  Falls back to the
+    type-oblivious :func:`pack_allocation` across all nodes when no single
+    group can host the request.
+
+    On a single-type cluster this is exactly :func:`pack_allocation`.
+    """
+    if cluster.num_types <= 1:
+        return pack_allocation(cluster, num_gpus, free_gpus)
+    free = np.asarray(free_gpus, dtype=np.int64)
+    if free.shape != (cluster.num_nodes,):
+        raise ValueError(
+            f"free_gpus has shape {free.shape}, expected ({cluster.num_nodes},)"
+        )
+    if num_gpus == 0:
+        return empty_allocation(cluster.num_nodes)
+    type_ids = cluster.node_type_ids()
+    speeds = cluster.type_speeds()
+    for type_idx in np.argsort(-speeds, kind="stable"):
+        group_free = np.where(type_ids == type_idx, free, 0)
+        if int(group_free.sum()) < num_gpus:
+            continue
+        alloc = pack_allocation(cluster, num_gpus, group_free)
+        if int(alloc.sum()) == num_gpus:
+            return alloc
+    return pack_allocation(cluster, num_gpus, free)
 
 
 def distributed_job_mask(matrix: np.ndarray) -> np.ndarray:

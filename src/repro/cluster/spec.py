@@ -1,27 +1,84 @@
-"""Static descriptions of nodes and clusters.
+"""Static descriptions of GPU types, nodes, and clusters.
 
 The paper's testbed is 16 AWS g4dn.12xlarge nodes with 4 Tesla T4 GPUs each
-(Sec. 5.1); the simulator experiments use the same shape.  Cloud auto-scaling
-(Sec. 4.2.2) grows and shrinks the node count between MIN_NODES and
-MAX_NODES, so :class:`ClusterSpec` supports resizing by constructing a new
-spec with a different node count.
+(Sec. 5.1); the simulator experiments use the same shape.  Beyond that
+homogeneous baseline, this module supports *typed* nodes: every node carries
+a :class:`GpuType` with a relative compute speed (Gavel-style throughput
+ratios — Narayanan et al., "Heterogeneity-Aware Cluster Scheduling Policies
+for Deep Learning Workloads"), so a cluster may mix e.g. T4, V100, and A100
+node groups.  A device with ``compute_speed`` s computes gradients s times
+faster than the T4 reference; synchronization costs are network-bound and do
+not scale with the device speed.
+
+Homogeneous single-type clusters are the default and collapse to exactly the
+seed semantics everywhere downstream (speedup tables keep their
+``(K_max + 1, 2)`` lookup, the genetic algorithm consumes the same random
+stream, simulated results are bit-identical).
+
+Cloud auto-scaling (Sec. 4.2.2) grows and shrinks the node count between
+MIN_NODES and MAX_NODES, so :class:`ClusterSpec` supports resizing by
+constructing a new spec with a different node count; growth clones the last
+node's spec by default, or a caller-chosen :class:`NodeSpec` (so an
+autoscaler can grow a specific GPU type).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["NodeSpec", "ClusterSpec"]
+__all__ = [
+    "GpuType",
+    "GPU_TYPES",
+    "DEFAULT_GPU_TYPE",
+    "NodeSpec",
+    "ClusterSpec",
+    "CLUSTER_PRESETS",
+]
+
+
+@dataclass(frozen=True)
+class GpuType:
+    """One GPU device type with a relative compute speed.
+
+    ``compute_speed`` is the gradient-computation throughput ratio versus
+    the T4 reference (speed 1.0): a V100 at 2.0 computes T_grad in half the
+    reference time.  Ratios are what Gavel calls the heterogeneity
+    abstraction and what adaptdl's MIP policy tracks as ``gput_ratios``.
+    """
+
+    name: str
+    compute_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("GpuType name must be non-empty")
+        if self.compute_speed <= 0:
+            raise ValueError(
+                f"compute_speed must be positive, got {self.compute_speed}"
+            )
+
+
+#: Preset device types.  Speeds are representative single-precision DL
+#: training throughput ratios versus the paper's T4 testbed.
+GPU_TYPES: Dict[str, GpuType] = {
+    "t4": GpuType("t4", 1.0),
+    "v100": GpuType("v100", 2.0),
+    "a100": GpuType("a100", 3.2),
+}
+
+#: The paper's testbed device (and the reference for compute speeds).
+DEFAULT_GPU_TYPE = GPU_TYPES["t4"]
 
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """One physical node."""
+    """One physical node: a GPU count and a device type."""
 
     num_gpus: int = 4
+    gpu_type: GpuType = DEFAULT_GPU_TYPE
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -30,7 +87,7 @@ class NodeSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A fixed-size cluster of GPU nodes."""
+    """A fixed-size cluster of (possibly heterogeneous) GPU nodes."""
 
     nodes: Tuple[NodeSpec, ...]
 
@@ -39,11 +96,54 @@ class ClusterSpec:
             raise ValueError("cluster must have at least one node")
 
     @classmethod
-    def homogeneous(cls, num_nodes: int, gpus_per_node: int = 4) -> "ClusterSpec":
+    def homogeneous(
+        cls,
+        num_nodes: int,
+        gpus_per_node: int = 4,
+        gpu_type: GpuType = DEFAULT_GPU_TYPE,
+    ) -> "ClusterSpec":
         """Build a cluster of ``num_nodes`` identical nodes."""
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
-        return cls(nodes=tuple(NodeSpec(gpus_per_node) for _ in range(num_nodes)))
+        return cls(
+            nodes=tuple(NodeSpec(gpus_per_node, gpu_type) for _ in range(num_nodes))
+        )
+
+    @classmethod
+    def heterogeneous(
+        cls, groups: Sequence[Tuple[str, int, int]]
+    ) -> "ClusterSpec":
+        """Build a cluster from ``(gpu_type_name, num_nodes, gpus_per_node)``
+        groups, in order.  Type names are looked up in :data:`GPU_TYPES`.
+
+        List groups fastest-first (as the presets do): :meth:`resized`
+        shrinks by truncating from the end, so the slowest nodes are shed
+        first and the fast groups survive autoscaling shrink/grow cycles.
+        """
+        nodes: List[NodeSpec] = []
+        for type_name, num_nodes, gpus_per_node in groups:
+            if type_name not in GPU_TYPES:
+                raise ValueError(
+                    f"unknown GPU type {type_name!r}; known: {sorted(GPU_TYPES)}"
+                )
+            if num_nodes < 1:
+                raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+            nodes.extend(
+                NodeSpec(gpus_per_node, GPU_TYPES[type_name])
+                for _ in range(num_nodes)
+            )
+        if not nodes:
+            raise ValueError("cluster must have at least one node group")
+        return cls(nodes=tuple(nodes))
+
+    @classmethod
+    def from_preset(cls, name: str) -> "ClusterSpec":
+        """Build one of the named :data:`CLUSTER_PRESETS`."""
+        if name not in CLUSTER_PRESETS:
+            raise ValueError(
+                f"unknown cluster preset {name!r}; known: {sorted(CLUSTER_PRESETS)}"
+            )
+        return cls.heterogeneous(CLUSTER_PRESETS[name])
 
     @property
     def num_nodes(self) -> int:
@@ -64,15 +164,101 @@ class ClusterSpec:
         """Per-node GPU capacities as an int vector of length num_nodes."""
         return np.array([n.num_gpus for n in self.nodes], dtype=np.int64)
 
-    def resized(self, num_nodes: int) -> "ClusterSpec":
+    # ------------------------------------------------------------------
+    # GPU-type structure
+    # ------------------------------------------------------------------
+
+    def _type_structure(
+        self,
+    ) -> Tuple[Tuple[GpuType, ...], np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Lazily computed (types, node_type_ids, type_speeds, node_speeds,
+        type_capacities); cached on the (frozen, immutable) instance because
+        schedulers query it on every round."""
+        cached = self.__dict__.get("_types_cache")
+        if cached is None:
+            types: List[GpuType] = []
+            for node in self.nodes:
+                if node.gpu_type not in types:
+                    types.append(node.gpu_type)
+            index = {t: i for i, t in enumerate(types)}
+            ids = np.array(
+                [index[n.gpu_type] for n in self.nodes], dtype=np.int64
+            )
+            speeds = np.array([t.compute_speed for t in types], dtype=float)
+            node_speeds = np.array(
+                [n.gpu_type.compute_speed for n in self.nodes], dtype=float
+            )
+            caps = np.zeros(len(types), dtype=np.int64)
+            for node_id, node in enumerate(self.nodes):
+                caps[ids[node_id]] += node.num_gpus
+            cached = (tuple(types), ids, speeds, node_speeds, caps)
+            object.__setattr__(self, "_types_cache", cached)
+        return cached
+
+    @property
+    def gpu_types(self) -> Tuple[GpuType, ...]:
+        """Distinct GPU types, in order of first appearance."""
+        return self._type_structure()[0]
+
+    @property
+    def num_types(self) -> int:
+        """Number of distinct GPU types in the cluster."""
+        return len(self.gpu_types)
+
+    @property
+    def is_single_type(self) -> bool:
+        """True when all nodes share one GPU type (the seed fast path)."""
+        return self.num_types == 1
+
+    def node_type_ids(self) -> np.ndarray:
+        """Per-node index into :attr:`gpu_types`, length num_nodes."""
+        return self._type_structure()[1].copy()
+
+    def type_speeds(self) -> np.ndarray:
+        """Relative compute speed per distinct type, length num_types."""
+        return self._type_structure()[2].copy()
+
+    def node_speeds(self) -> np.ndarray:
+        """Relative compute speed per node, length num_nodes."""
+        return self._type_structure()[3].copy()
+
+    def type_capacities(self) -> np.ndarray:
+        """Total GPUs per distinct type, length num_types."""
+        return self._type_structure()[4].copy()
+
+    # ------------------------------------------------------------------
+    # Resizing (cloud auto-scaling)
+    # ------------------------------------------------------------------
+
+    def resized(
+        self, num_nodes: int, grow_with: Optional[NodeSpec] = None
+    ) -> "ClusterSpec":
         """A copy of this cluster with ``num_nodes`` nodes (cloud scaling).
 
-        Grows by cloning the last node's spec; shrinks by dropping nodes
-        from the end.
+        Shrinks by dropping nodes from the end; grows by appending copies of
+        ``grow_with`` (an autoscaler's chosen node/GPU type), or of the last
+        node's spec when ``grow_with`` is None.  Truncation is positional
+        (the simulator remaps allocations by node index), so typed fleets
+        should list their fastest groups first — then shrinking sheds the
+        slowest nodes and default growth clones the cheapest type.
         """
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        template = grow_with if grow_with is not None else self.nodes[-1]
         nodes: List[NodeSpec] = list(self.nodes[:num_nodes])
         while len(nodes) < num_nodes:
-            nodes.append(self.nodes[-1])
+            nodes.append(template)
         return ClusterSpec(nodes=tuple(nodes))
+
+
+#: Named cluster shapes used by benchmarks and examples, as
+#: ``(gpu_type_name, num_nodes, gpus_per_node)`` groups.  Fastest types
+#: come first so autoscaling shrink (end-truncation) sheds slow nodes.
+CLUSTER_PRESETS: Dict[str, Tuple[Tuple[str, int, int], ...]] = {
+    # The paper's homogeneous testbed (16 x 4 T4).
+    "t4-testbed": (("t4", 16, 4),),
+    # A small two-type fleet: a fast V100 group plus commodity T4 nodes.
+    "mixed-t4-v100": (("v100", 2, 4), ("t4", 4, 4)),
+    # A production-style three-tier fleet (cf. adaptdl's dgx/rtx/quad mix).
+    "mixed-t4-v100-a100": (("a100", 2, 8), ("v100", 4, 4), ("t4", 8, 4)),
+}

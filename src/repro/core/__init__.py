@@ -20,13 +20,19 @@ from .rackaware import (
     fit_rack_throughput_params,
 )
 from .sched import PolluxSched, PolluxSchedConfig, SchedJobInfo, job_weight
-from .speedup import best_batch_size_table, build_speedup_table, speedup
+from .speedup import (
+    best_batch_size_table,
+    build_speedup_table,
+    build_typed_speedup_table,
+    speedup,
+)
 from .throughput import (
     ExplorationState,
     ProfileEntry,
     ThroughputModel,
     ThroughputParams,
     fit_throughput_params,
+    project_throughput_params,
 )
 
 __all__ = [
@@ -64,10 +70,12 @@ __all__ = [
     "job_weight",
     "best_batch_size_table",
     "build_speedup_table",
+    "build_typed_speedup_table",
     "speedup",
     "ExplorationState",
     "ProfileEntry",
     "ThroughputModel",
     "ThroughputParams",
     "fit_throughput_params",
+    "project_throughput_params",
 ]

@@ -98,11 +98,15 @@ class PolluxAgent:
         self.grad_stats = GradientStats(smoothing=smoothing)
         self.exploration = ExplorationState()
         self._seed = int(profile_noise_key)
-        # Profile: (num_nodes, num_gpus, batch-size bucket) -> running means
-        # of (count, t_iter, batch_size).  Batch sizes are bucketed at ~5%
-        # resolution so that the continuous drift of the tuned batch size
-        # does not create an unbounded number of configurations.
-        self._profile: Dict[Tuple[int, int, int], Tuple[int, float, float]] = {}
+        # Profile: (num_nodes, num_gpus, batch-size bucket, device speed) ->
+        # running means of (count, t_iter, batch_size).  Batch sizes are
+        # bucketed at ~5% resolution so that the continuous drift of the
+        # tuned batch size does not create an unbounded number of
+        # configurations; the device speed keys observations from different
+        # GPU types separately so the fit can normalize them.
+        self._profile: Dict[
+            Tuple[int, int, int, float], Tuple[int, float, float]
+        ] = {}
         self._placements_seen: set = set()
         self._params: Optional[ThroughputParams] = None
         self._fit_dirty = False
@@ -123,17 +127,26 @@ class PolluxAgent:
         num_gpus: int,
         batch_size: float,
         t_iter: float,
+        speed: float = 1.0,
     ) -> None:
-        """Record one observed iteration time for the current configuration."""
+        """Record one observed iteration time for the current configuration.
+
+        ``speed`` is the relative compute speed of the GPU type the job is
+        running on (1.0 = reference); the fit uses it to express theta_sys
+        in reference-device units, so profiles measured on one type project
+        onto the others.
+        """
         if num_gpus < 1 or num_nodes < 1:
             raise ValueError("placement must include at least one GPU on one node")
         if t_iter <= 0:
             raise ValueError("t_iter must be positive")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
         self.exploration.observe(num_nodes, num_gpus)
         self.max_gpus_seen = max(self.max_gpus_seen, num_gpus)
         self.total_iterations += 1
         bucket = int(round(np.log(max(batch_size, 1.0)) / np.log(1.05)))
-        key = (num_nodes, num_gpus, bucket)
+        key = (num_nodes, num_gpus, bucket, float(speed))
         placement = (num_nodes, num_gpus)
         if placement not in self._placements_seen:
             # A placement never profiled before is load-bearing for the
@@ -169,8 +182,8 @@ class PolluxAgent:
     def profile_entries(self) -> Tuple[ProfileEntry, ...]:
         """The collected profile as immutable entries (mean T_iter each)."""
         return tuple(
-            ProfileEntry(nodes, gpus, mean_bs, mean_t)
-            for (nodes, gpus, _), (_, mean_t, mean_bs) in sorted(
+            ProfileEntry(nodes, gpus, mean_bs, mean_t, speed)
+            for (nodes, gpus, _, speed), (_, mean_t, mean_bs) in sorted(
                 self._profile.items()
             )
         )
@@ -223,8 +236,15 @@ class PolluxAgent:
         """GOODPUT function at the job's current training moment."""
         return self.report().goodput_model()
 
-    def tune_batch_size(self, num_nodes: int, num_gpus: int) -> Tuple[float, float]:
+    def tune_batch_size(
+        self, num_nodes: int, num_gpus: int, speed: float = 1.0
+    ) -> Tuple[float, float]:
         """Most efficient batch size for the current allocation (Eqn. 13).
+
+        Args:
+            num_nodes: Nodes hosting at least one replica.
+            num_gpus: Total allocated GPUs.
+            speed: Relative compute speed of the allocated GPU type.
 
         Returns:
             Tuple ``(batch_size, learning_rate)`` where the learning rate is
@@ -233,7 +253,7 @@ class PolluxAgent:
         if num_gpus < 1:
             raise ValueError("job has no GPUs allocated")
         model = self.goodput_model()
-        m_star, _ = model.optimize_batch_size(num_nodes, num_gpus)
+        m_star, _ = model.optimize_batch_size(num_nodes, num_gpus, speed=speed)
         lr = self.init_lr * adascale_gain(
             self.grad_noise_scale, self.init_batch_size, m_star
         )

@@ -5,7 +5,10 @@ defines the cluster resource utility of an allocation matrix A as
 
     UTILITY(A) = sum_j SPEEDUP_j(A_j) / TOTAL_GPUS          (Eqn. 17)
 
-which always lies in [0, 1].  The operator supplies LOW_UTIL_THRES and
+which always lies in [0, 1].  On typed clusters TOTAL_GPUS generalizes to
+the capacity in slowest-type-GPU equivalents (see
+:meth:`repro.core.genetic.AllocationProblem.utility`), preserving that
+range so the operator band below stays meaningful on mixed fleets.  The operator supplies LOW_UTIL_THRES and
 HIGH_UTIL_THRES; when the utility of the currently applied allocations falls
 outside this band, PolluxSched binary-searches (assuming UTILITY decreases
 with cluster size) for the node count whose utility is closest to the middle
@@ -23,7 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..cluster.spec import ClusterSpec
+from ..cluster.spec import ClusterSpec, NodeSpec
 from .genetic import GAConfig, GeneticOptimizer
 from .sched import PolluxSched, PolluxSchedConfig, SchedJobInfo
 
@@ -87,14 +90,24 @@ class UtilityAutoscaler:
         self._seed = seed
 
     def _utility_at(
-        self, num_nodes: int, jobs: Sequence[SchedJobInfo]
+        self,
+        num_nodes: int,
+        jobs: Sequence[SchedJobInfo],
+        cluster: Optional[ClusterSpec] = None,
+        grow_with: Optional[NodeSpec] = None,
     ) -> float:
         """Best achievable UTILITY on a cluster of ``num_nodes`` nodes.
 
         Runs a (small-budget) GA on the probed cluster size and evaluates
-        Eqn. 17 on the best allocation matrix found.
+        Eqn. 17 on the best allocation matrix found.  When ``cluster`` is
+        given, the probe resizes *that* cluster (preserving its GPU types
+        and per-node shapes, growing with ``grow_with``); otherwise it
+        probes a homogeneous reference fleet of ``gpus_per_node``-GPU nodes.
         """
-        cluster = ClusterSpec.homogeneous(num_nodes, self.gpus_per_node)
+        if cluster is not None:
+            cluster = cluster.resized(num_nodes, grow_with=grow_with)
+        else:
+            cluster = ClusterSpec.homogeneous(num_nodes, self.gpus_per_node)
         probe_cfg = PolluxSchedConfig(
             restart_penalty=0.0,  # probes are hypothetical; no restarts paid
             forbid_interference=self.sched_config.forbid_interference,
@@ -123,12 +136,17 @@ class UtilityAutoscaler:
         current_nodes: int,
         current_utility: float,
         jobs: Sequence[SchedJobInfo],
+        cluster: Optional[ClusterSpec] = None,
+        grow_with: Optional[NodeSpec] = None,
     ) -> AutoscaleDecision:
         """Decide the next cluster size.
 
         If the utility of the *applied* allocations is within the operator
         band, the size is kept.  Otherwise, binary search for the size whose
-        achievable utility is closest to the band's midpoint.
+        achievable utility is closest to the band's midpoint.  On typed
+        fleets pass ``cluster`` (and the ``grow_with`` node spec the caller
+        will grow by) so the probes evaluate the real node types instead of
+        the homogeneous reference fleet.
         """
         cfg = self.config
         if not jobs:
@@ -144,7 +162,7 @@ class UtilityAutoscaler:
         # utility is <= target, then compare with its neighbor.
         while lo < hi:
             mid = (lo + hi) // 2
-            util = self._utility_at(mid, jobs)
+            util = self._utility_at(mid, jobs, cluster, grow_with)
             probed.append((mid, util))
             if util > target:
                 lo = mid + 1
@@ -153,13 +171,13 @@ class UtilityAutoscaler:
         best_nodes = lo
         best_util = dict(probed).get(best_nodes)
         if best_util is None:
-            best_util = self._utility_at(best_nodes, jobs)
+            best_util = self._utility_at(best_nodes, jobs, cluster, grow_with)
             probed.append((best_nodes, best_util))
         if best_nodes > cfg.min_nodes:
             below = best_nodes - 1
             util_below = dict(probed).get(below)
             if util_below is None:
-                util_below = self._utility_at(below, jobs)
+                util_below = self._utility_at(below, jobs, cluster, grow_with)
                 probed.append((below, util_below))
             if abs(util_below - target) < abs(best_util - target):
                 best_nodes = below

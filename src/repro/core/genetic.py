@@ -7,11 +7,14 @@ per node).  Each generation:
    mutated element is set to a uniform random integer in [0, capacity_n].
 2. **Crossover** — parents are picked by tournament selection; offspring rows
    are randomly mixed from the two parents.
-3. **Repair** — matrices are modified to satisfy (a) per-job GPU caps (the
-   2x-lifetime-max exploration rule of Sec. 4.1), (b) per-node capacity
-   (random elements in over-capacity columns are decremented until the
-   constraint holds), and (c) optionally the interference-avoidance
-   constraint (at most one *distributed* job per node).
+3. **Repair** — matrices are modified to satisfy (a) single-GPU-type
+   placements on heterogeneous clusters (each job keeps only the nodes of
+   its dominant type, so the per-type speedup lookup stays O(1); a no-op on
+   single-type clusters), (b) per-job GPU caps (the 2x-lifetime-max
+   exploration rule of Sec. 4.1), (c) per-node capacity (random elements in
+   over-capacity columns are decremented until the constraint holds), and
+   (d) optionally the interference-avoidance constraint (at most one
+   *distributed* job per node).
 4. **Selection** — parents and offspring compete; the population size is
    kept constant by discarding the lowest-fitness matrices.
 
@@ -62,9 +65,12 @@ class JobGAInfo:
     """Per-job inputs to the allocation problem.
 
     Attributes:
-        speedup_table: Array of shape (max_gpus + 1, 2); column 0 is the
-            speedup when all GPUs are co-located on one node, column 1 when
-            they span two or more nodes (see :mod:`repro.core.speedup`).
+        speedup_table: Array of shape (max_gpus + 1, 2) for single-type
+            clusters, or (max_gpus + 1, 2, num_types) for typed clusters;
+            axis 1 index 0 is the speedup when all GPUs are co-located on
+            one node, index 1 when they span two or more nodes, and the
+            trailing axis (when present) selects the GPU type of the
+            placement (see :mod:`repro.core.speedup`).
         weight: The job's weight w_j in FITNESS (Eqn. 14/16).
         max_gpus: Hard cap on total GPUs for this job (Sec. 4.1: at most 2x
             the lifetime maximum).
@@ -83,8 +89,10 @@ class JobGAInfo:
 
     def __post_init__(self) -> None:
         self.speedup_table = np.asarray(self.speedup_table, dtype=float)
-        if self.speedup_table.ndim != 2 or self.speedup_table.shape[1] != 2:
-            raise ValueError("speedup_table must have shape (K+1, 2)")
+        if self.speedup_table.ndim not in (2, 3) or self.speedup_table.shape[1] != 2:
+            raise ValueError(
+                "speedup_table must have shape (K+1, 2) or (K+1, 2, T)"
+            )
         if self.max_gpus < 1:
             raise ValueError("max_gpus must be >= 1")
         if self.max_gpus > self.speedup_table.shape[0] - 1:
@@ -114,6 +122,21 @@ class AllocationProblem:
         self.num_jobs = len(self.jobs)
         self.num_nodes = cluster.num_nodes
         self.capacities = cluster.capacities()
+        self.num_types = cluster.num_types
+        self.node_type_ids = cluster.node_type_ids()
+        self.type_speeds = cluster.type_speeds()
+        #: (T, N) 0/1 membership matrix for per-type GPU sums.
+        self.type_masks = (
+            self.node_type_ids[None, :] == np.arange(self.num_types)[:, None]
+        ).astype(np.int64)
+        #: Cluster compute capacity in slowest-type-GPU equivalents.  Typed
+        #: speedup tables are normalized by the slowest type, so this is the
+        #: UTILITY denominator that keeps Eqn. 17 in [0, ~1] on mixed
+        #: fleets; it equals total_gpus on single-type clusters.
+        self.effective_gpus = float(
+            np.sum(self.capacities * cluster.node_speeds())
+            / self.type_speeds.min()
+        )
 
         if self.num_jobs:
             self.max_gpus = np.array([j.max_gpus for j in self.jobs], dtype=np.int64)
@@ -121,28 +144,55 @@ class AllocationProblem:
             self.current = np.stack([j.current_alloc for j in self.jobs])
             self.running = np.array([j.running for j in self.jobs], dtype=bool)
             k_rows = int(self.max_gpus.max()) + 1
-            self.tables = np.zeros((self.num_jobs, k_rows, 2), dtype=float)
+            self.tables = np.zeros(
+                (self.num_jobs, k_rows, 2, self.num_types), dtype=float
+            )
             for idx, job in enumerate(self.jobs):
-                rows = min(job.speedup_table.shape[0], k_rows)
-                self.tables[idx, :rows] = job.speedup_table[:rows]
+                table = job.speedup_table
+                if table.ndim == 2:
+                    # Untyped table: the same speedup on every type.
+                    table = np.repeat(table[:, :, None], self.num_types, axis=2)
+                if table.shape[2] != self.num_types:
+                    raise ValueError(
+                        f"speedup_table has {table.shape[2]} type columns, "
+                        f"cluster has {self.num_types}"
+                    )
+                rows = min(table.shape[0], k_rows)
+                self.tables[idx, :rows] = table[:rows]
                 if rows < k_rows:
                     # Pad with the last row; repair keeps K <= max_gpus so
                     # these cells are never actually selected.
-                    self.tables[idx, rows:] = job.speedup_table[-1]
+                    self.tables[idx, rows:] = table[-1]
         else:
             self.max_gpus = np.zeros(0, dtype=np.int64)
             self.weights = np.zeros(0, dtype=float)
             self.current = np.zeros((0, self.num_nodes), dtype=np.int64)
             self.running = np.zeros(0, dtype=bool)
-            self.tables = np.zeros((0, 1, 2), dtype=float)
+            self.tables = np.zeros((0, 1, 2, self.num_types), dtype=float)
 
     def speedups(self, population: np.ndarray) -> np.ndarray:
-        """Per-job SPEEDUP for a (P, J, N) population; returns (P, J)."""
+        """Per-job SPEEDUP for a (P, J, N) population; returns (P, J).
+
+        On typed clusters the lookup uses the *slowest occupied* GPU type,
+        matching the simulator's ground truth (synchronous data-parallel
+        SGD is gated by its slowest replica).  Repaired populations hold
+        single-type placements, where this is simply the placement's type;
+        un-repaired matrices (e.g. current allocations straddling types
+        after a resize) are scored at the speed they would actually run at.
+        """
         pop = np.asarray(population)
         k = np.minimum(pop.sum(axis=-1), self.max_gpus[None, :])
         flag = ((pop > 0).sum(axis=-1) >= 2).astype(np.int64)
         j_idx = np.arange(self.num_jobs)[None, :]
-        return self.tables[j_idx, k, flag]
+        if self.num_types == 1:
+            return self.tables[j_idx, k, flag, 0]
+        per_type = np.einsum("pjn,tn->pjt", pop, self.type_masks)
+        occupied_speeds = np.where(
+            per_type > 0, self.type_speeds[None, None, :], np.inf
+        )
+        # Rows with no GPUs degenerate to type 0; their K = 0 lookup is 0.
+        type_idx = np.argmin(occupied_speeds, axis=-1)
+        return self.tables[j_idx, k, flag, type_idx]
 
     def fitness(self, population: np.ndarray) -> np.ndarray:
         """FITNESS(A) (Eqn. 14) for a (P, J, N) population; returns (P,)."""
@@ -159,9 +209,15 @@ class AllocationProblem:
         return weighted.sum(axis=-1) / denom
 
     def utility(self, matrix: np.ndarray) -> float:
-        """UTILITY(A) = sum_j SPEEDUP_j / TOTAL_GPUS (Eqn. 17)."""
+        """UTILITY(A) = sum_j SPEEDUP_j / TOTAL_GPUS (Eqn. 17).
+
+        On typed clusters the denominator is the capacity in
+        slowest-type-GPU equivalents (a V100 at 2x counts as 2), so the
+        value stays comparable to the operator's [0, 1] utility band; on
+        single-type clusters this is exactly the paper's TOTAL_GPUS.
+        """
         sp = self.speedups(np.asarray(matrix)[None])
-        total = self.cluster.total_gpus
+        total = self.effective_gpus
         return float(sp.sum() / total) if total > 0 else 0.0
 
 
@@ -208,13 +264,35 @@ class GeneticOptimizer:
         return np.where(take_a, parents_a, parents_b)
 
     def _repair(self, population: np.ndarray) -> np.ndarray:
-        """Apply per-job caps, node capacities, and interference avoidance."""
+        """Apply type groups, per-job caps, capacities, and interference."""
         pop = population.copy()
+        if self.problem.num_types > 1:
+            self._repair_type_groups(pop)
         self._repair_job_caps(pop)
         self._repair_capacity(pop)
         if self.problem.forbid_interference:
             self._repair_interference(pop)
         return pop
+
+    def _repair_type_groups(self, pop: np.ndarray) -> None:
+        """Restrict each job's placement to a single GPU-type group.
+
+        Rows spanning several types keep only the nodes of their dominant
+        type (most GPUs; ties break toward the first type), zeroing the
+        rest.  Deterministic — consumes no randomness — so single-type
+        clusters (where this step is skipped entirely) replay the seed's
+        exact random stream.
+        """
+        per_type = np.einsum(
+            "pjn,tn->pjt", pop, self.problem.type_masks
+        )  # (P, J, T)
+        spans = (per_type > 0).sum(axis=-1) >= 2  # (P, J)
+        where_p, where_j = np.where(spans)
+        if len(where_p) == 0:
+            return
+        dominant = np.argmax(per_type[where_p, where_j], axis=-1)  # (V,)
+        keep_mask = self.problem.type_masks[dominant]  # (V, N)
+        pop[where_p, where_j] = pop[where_p, where_j] * keep_mask
 
     def _repair_job_caps(self, pop: np.ndarray) -> None:
         """Decrement random entries of rows exceeding the per-job GPU cap."""

@@ -99,25 +99,32 @@ class GoodputModel:
                 f"{efficiency_model.init_batch_size} vs {limits.init_batch_size}"
             )
 
-    def throughput(self, num_nodes, num_gpus, batch_size):
-        """THROUGHPUT(a, m) in samples/second."""
-        return self.throughput_model.throughput(num_nodes, num_gpus, batch_size)
+    def throughput(self, num_nodes, num_gpus, batch_size, speed=1.0):
+        """THROUGHPUT(a, m) in samples/second.
+
+        ``speed`` is the allocated GPU type's relative compute speed (see
+        :mod:`repro.core.throughput`); 1.0 is the reference device.
+        """
+        return self.throughput_model.throughput(
+            num_nodes, num_gpus, batch_size, speed
+        )
 
     def efficiency(self, batch_size):
         """EFFICIENCY_t(m) in (0, 1]."""
         return self.efficiency_model.efficiency(batch_size)
 
-    def goodput(self, num_nodes, num_gpus, batch_size):
+    def goodput(self, num_nodes, num_gpus, batch_size, speed=1.0):
         """GOODPUT_t(a, m) in m0-equivalent samples/second (Eqn. 6)."""
-        return self.throughput(num_nodes, num_gpus, batch_size) * self.efficiency(
-            batch_size
-        )
+        return self.throughput(
+            num_nodes, num_gpus, batch_size, speed
+        ) * self.efficiency(batch_size)
 
     def optimize_batch_size(
         self,
         num_nodes: int,
         num_gpus: int,
         tol: float = 1.0,
+        speed: float = 1.0,
     ) -> Tuple[float, float]:
         """argmax_m GOODPUT(a, m) via golden-section search (Eqn. 13).
 
@@ -128,6 +135,7 @@ class GoodputModel:
             num_nodes: Number of physical nodes in the placement.
             num_gpus: Total number of GPUs in the placement.
             tol: Absolute tolerance on the located batch size.
+            speed: Relative compute speed of the allocated GPU type.
 
         Returns:
             Tuple ``(m_star, goodput_at_m_star)``.
@@ -145,7 +153,7 @@ class GoodputModel:
         lo, hi = rng
 
         def objective(m: float) -> float:
-            return float(self.goodput(num_nodes, num_gpus, m))
+            return float(self.goodput(num_nodes, num_gpus, m, speed))
 
         return golden_section_search(objective, lo, hi, tol=tol)
 
@@ -154,6 +162,7 @@ class GoodputModel:
         num_nodes: int,
         num_gpus: int,
         points_per_octave: int = 16,
+        speed: float = 1.0,
     ) -> Tuple[float, float]:
         """Grid-search variant of :meth:`optimize_batch_size`.
 
@@ -170,6 +179,6 @@ class GoodputModel:
                 f"on {num_gpus} GPU(s)"
             )
         grid = batch_size_grid(*rng, points_per_octave=points_per_octave)
-        values = np.asarray(self.goodput(num_nodes, num_gpus, grid))
+        values = np.asarray(self.goodput(num_nodes, num_gpus, grid, speed))
         idx = int(np.argmax(values))
         return float(grid[idx]), float(values[idx])

@@ -86,13 +86,19 @@ class RackThroughputParams:
 
 @dataclass(frozen=True)
 class RackProfileEntry:
-    """Observed (racks, nodes, gpus, batch size, T_iter) tuple."""
+    """Observed (racks, nodes, gpus, batch size, T_iter) tuple.
+
+    ``speed`` is the relative compute speed of the GPU type the observation
+    was measured on (1.0 = reference device), as in
+    :class:`repro.core.throughput.ProfileEntry`.
+    """
 
     num_racks: int
     num_nodes: int
     num_gpus: int
     batch_size: float
     t_iter: float
+    speed: float = 1.0
 
     def __post_init__(self) -> None:
         if not (1 <= self.num_racks <= self.num_nodes <= self.num_gpus):
@@ -102,6 +108,8 @@ class RackProfileEntry:
             )
         if self.batch_size <= 0 or self.t_iter <= 0:
             raise ValueError("batch_size and t_iter must be positive")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
 
 
 class RackThroughputModel:
@@ -110,12 +118,15 @@ class RackThroughputModel:
     def __init__(self, params: RackThroughputParams):
         self.params = params
 
-    def t_grad(self, num_gpus, batch_size):
-        """Per-iteration gradient computation time (unchanged, Eqn. 9)."""
+    def t_grad(self, num_gpus, batch_size, speed=1.0):
+        """Per-iteration gradient computation time (Eqn. 9, speed-scaled)."""
         p = self.params
-        return p.alpha_grad + p.beta_grad * np.asarray(batch_size, dtype=float) / (
-            np.asarray(num_gpus, dtype=float)
-        )
+        return (
+            p.alpha_grad
+            + p.beta_grad
+            * np.asarray(batch_size, dtype=float)
+            / np.asarray(num_gpus, dtype=float)
+        ) / np.asarray(speed, dtype=float)
 
     def t_sync(self, num_racks, num_nodes, num_gpus):
         """Three-tier synchronization time."""
@@ -131,10 +142,10 @@ class RackThroughputModel:
         out = np.where(racks > 1, rack, np.where(nodes > 1, node, local))
         return np.where(gpus <= 1, 0.0, out)
 
-    def t_iter(self, num_racks, num_nodes, num_gpus, batch_size):
+    def t_iter(self, num_racks, num_nodes, num_gpus, batch_size, speed=1.0):
         """Gamma-blended total iteration time (Eqn. 11 with 3-tier sync)."""
         gamma = self.params.gamma
-        tg = np.asarray(self.t_grad(num_gpus, batch_size), dtype=float)
+        tg = np.asarray(self.t_grad(num_gpus, batch_size, speed), dtype=float)
         ts = np.asarray(self.t_sync(num_racks, num_nodes, num_gpus), dtype=float)
         tg, ts = np.broadcast_arrays(tg, ts)
         hi = np.maximum(tg, ts)
@@ -142,10 +153,10 @@ class RackThroughputModel:
         ratio = np.where(hi > 0, lo / np.where(hi > 0, hi, 1.0), 0.0)
         return hi * np.power(1.0 + np.power(ratio, gamma), 1.0 / gamma)
 
-    def throughput(self, num_racks, num_nodes, num_gpus, batch_size):
+    def throughput(self, num_racks, num_nodes, num_gpus, batch_size, speed=1.0):
         """Samples/second for the given placement and batch size."""
         m = np.asarray(batch_size, dtype=float)
-        return m / self.t_iter(num_racks, num_nodes, num_gpus, m)
+        return m / self.t_iter(num_racks, num_nodes, num_gpus, m, speed)
 
 
 def _pinned(observations: Sequence[RackProfileEntry]) -> Tuple[str, ...]:
@@ -180,13 +191,14 @@ def _loss(
     nodes: np.ndarray,
     gpus: np.ndarray,
     batch: np.ndarray,
+    speeds: np.ndarray,
     t_obs_log: np.ndarray,
 ) -> float:
     full = base.copy()
     full[free_idx] = np.abs(vec)
     full[-1] = float(np.clip(full[-1], GAMMA_MIN, GAMMA_MAX))
     model = RackThroughputModel(RackThroughputParams.from_vector(full))
-    pred = np.asarray(model.t_iter(racks, nodes, gpus, batch), dtype=float)
+    pred = np.asarray(model.t_iter(racks, nodes, gpus, batch, speeds), dtype=float)
     err = np.log(np.maximum(pred, 1e-12)) - t_obs_log
     return float(np.sqrt(np.mean(err * err)))
 
@@ -206,6 +218,7 @@ def fit_rack_throughput_params(
     gpus = np.array([o.num_gpus for o in obs], dtype=float)
     batch = np.array([o.batch_size for o in obs], dtype=float)
     t_obs = np.array([o.t_iter for o in obs], dtype=float)
+    speeds = np.array([o.speed for o in obs], dtype=float)
 
     pinned = _pinned(obs)
     free_names = [n for n in _PARAM_NAMES if n not in pinned]
@@ -213,8 +226,9 @@ def fit_rack_throughput_params(
     base = np.zeros(len(_PARAM_NAMES), dtype=float)
     base[-1] = GAMMA_MIN
 
-    t_min = float(np.min(t_obs))
-    beta_guess = float(np.median(t_obs / np.maximum(batch / gpus, 1e-9)))
+    t_ref = t_obs * speeds
+    t_min = float(np.min(t_ref))
+    beta_guess = float(np.median(t_ref / np.maximum(batch / gpus, 1e-9)))
     default = {
         "alpha_grad": 0.5 * t_min,
         "beta_grad": 0.5 * beta_guess,
@@ -243,7 +257,7 @@ def fit_rack_throughput_params(
             start[free_names.index("gamma")] = rng.uniform(GAMMA_MIN, GAMMA_MAX)
         starts.append(start)
 
-    args = (free_idx, base, racks, nodes, gpus, batch, np.log(t_obs))
+    args = (free_idx, base, racks, nodes, gpus, batch, speeds, np.log(t_obs))
     best_vec, best_loss = None, np.inf
     for start in starts:
         clipped = np.clip(

@@ -24,7 +24,7 @@ import numpy as np
 from ..cluster.spec import ClusterSpec
 from .agent import AgentReport
 from .genetic import AllocationProblem, GAConfig, GeneticOptimizer, JobGAInfo
-from .speedup import build_speedup_table
+from .speedup import build_speedup_table, build_typed_speedup_table
 
 __all__ = ["PolluxSchedConfig", "SchedJobInfo", "job_weight", "PolluxSched"]
 
@@ -88,13 +88,17 @@ class PolluxSched:
         self._population: Optional[np.ndarray] = None
         self._population_job_ids: List[str] = []
         self.rounds = 0
+        #: UTILITY(A) (Eqn. 17) of the last optimized allocation matrix.
+        self.last_utility = 0.0
 
     # ------------------------------------------------------------------
 
     def set_cluster(self, cluster: ClusterSpec) -> None:
         """Replace the cluster (cloud auto-scaling); resets the GA bootstrap
-        population if the node count changed."""
-        if cluster.num_nodes != self.cluster.num_nodes:
+        population if the node layout (count, per-node GPUs, or GPU types)
+        changed — stale populations are meaningless across a type-set
+        change."""
+        if cluster.nodes != self.cluster.nodes:
             self._population = None
             self._population_job_ids = []
         self.cluster = cluster
@@ -117,14 +121,27 @@ class PolluxSched:
         """Construct the GA allocation problem for one scheduling round."""
         cfg = self.config
         total_gpus = self.cluster.total_gpus
+        single_type = self.cluster.is_single_type
+        type_speeds = self.cluster.type_speeds()
         ga_jobs: List[JobGAInfo] = []
         for job in jobs:
             cap = job.report.exploration_cap(total_gpus)
-            table = build_speedup_table(
-                job.report.goodput_model(),
-                max_gpus=cap,
-                points_per_octave=cfg.table_points_per_octave,
-            )
+            if single_type:
+                # Homogeneous fast path: the seed's (K+1, 2) table, at the
+                # cluster's (single) device speed — 1.0 on the reference T4.
+                table = build_speedup_table(
+                    job.report.goodput_model(),
+                    max_gpus=cap,
+                    points_per_octave=cfg.table_points_per_octave,
+                    speed=float(type_speeds[0]),
+                )
+            else:
+                table = build_typed_speedup_table(
+                    job.report.goodput_model(),
+                    max_gpus=cap,
+                    type_speeds=type_speeds,
+                    points_per_octave=cfg.table_points_per_octave,
+                )
             weight = job_weight(job.gputime, cfg.gputime_thres, cfg.weight_decay)
             ga_jobs.append(
                 JobGAInfo(
@@ -153,6 +170,7 @@ class PolluxSched:
         if not jobs:
             self._population = None
             self._population_job_ids = []
+            self.last_utility = 0.0
             return {}
 
         problem = self.build_problem(jobs)
@@ -162,6 +180,7 @@ class PolluxSched:
 
         self._population = population
         self._population_job_ids = list(job_ids)
+        self.last_utility = problem.utility(best)
         return {jid: best[j].copy() for j, jid in enumerate(job_ids)}
 
     def utility(self, jobs: Sequence[SchedJobInfo], matrix: np.ndarray) -> float:

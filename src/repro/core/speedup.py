@@ -10,17 +10,34 @@ co-located on one node, SPEEDUP depends on the placement A_j only through
 shape (K_max + 1, 2) which the genetic algorithm evaluates with O(1) lookups,
 and we vectorize the inner max over the batch size on a dense geometric grid
 (GOODPUT is unimodal in m, so the grid optimum matches golden-section).
+
+**Typed GPU nodes.**  On a heterogeneous cluster every placement the genetic
+algorithm considers lives inside a single GPU-type group (the type-group
+repair in :mod:`repro.core.genetic`), so SPEEDUP additionally depends only on
+the group's relative compute speed.  :func:`build_typed_speedup_table`
+evaluates the same surface once per type and stacks the results into a
+``(K_max + 1, 2, num_types)`` table, normalized by the *slowest* type's
+smallest feasible co-located placement — so the slowest type's single GPU has
+speedup 1 and faster types score proportionally higher, which is what steers
+the GA toward fast nodes.  The GA lookup stays O(1): ``table[K, flag,
+type]``.  With a single type at speed 1.0 the typed table collapses exactly
+to the seed's ``(K_max + 1, 2)`` table.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from .goodput import GoodputModel, batch_size_grid
 
-__all__ = ["speedup", "build_speedup_table", "best_batch_size_table"]
+__all__ = [
+    "speedup",
+    "build_speedup_table",
+    "build_typed_speedup_table",
+    "best_batch_size_table",
+]
 
 #: Column index for placements co-located on a single node.
 SINGLE_NODE = 0
@@ -28,7 +45,9 @@ SINGLE_NODE = 0
 MULTI_NODE = 1
 
 
-def _reference_goodput(model: GoodputModel, tol: float = 0.5) -> float:
+def _reference_goodput(
+    model: GoodputModel, tol: float = 0.5, speed: float = 1.0
+) -> float:
     """max_m GOODPUT(single process, m): the SPEEDUP denominator.
 
     If the initial batch size does not fit on a single GPU, the smallest
@@ -36,7 +55,7 @@ def _reference_goodput(model: GoodputModel, tol: float = 0.5) -> float:
     that the smallest feasible allocation has speedup 1.
     """
     min_gpus = model.limits.min_gpus()
-    _, best = model.optimize_batch_size(1, min_gpus, tol=tol)
+    _, best = model.optimize_batch_size(1, min_gpus, tol=tol, speed=speed)
     return best
 
 
@@ -45,31 +64,34 @@ def speedup(
     num_nodes: int,
     num_gpus: int,
     tol: float = 0.5,
+    speed: float = 1.0,
 ) -> float:
-    """SPEEDUP for one placement, via golden-section search (Eqn. 15)."""
+    """SPEEDUP for one placement, via golden-section search (Eqn. 15).
+
+    ``speed`` evaluates both numerator and denominator on a GPU type with
+    the given relative compute speed (self-normalized, as on a homogeneous
+    cluster of that type).
+    """
     if num_gpus == 0:
         return 0.0
     rng = model.limits.range_for(num_gpus)
     if rng is None:
         return 0.0
-    _, numer = model.optimize_batch_size(num_nodes, num_gpus, tol=tol)
-    denom = _reference_goodput(model, tol=tol)
+    _, numer = model.optimize_batch_size(num_nodes, num_gpus, tol=tol, speed=speed)
+    denom = _reference_goodput(model, tol=tol, speed=speed)
     if denom <= 0:
         return 0.0
     return numer / denom
 
 
-def _goodput_surface(
-    model: GoodputModel,
-    max_gpus: int,
-    points_per_octave: int,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Vectorized max_m GOODPUT over a (K, placement-flag) surface.
+def _surface_inputs(
+    model: GoodputModel, max_gpus: int, points_per_octave: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The speed-independent pieces of the goodput surface.
 
-    Returns:
-        Tuple of two arrays of shape ``(max_gpus + 1, 2)``: the maximal
-        goodput and the corresponding argmax batch size.  Row 0 and
-        infeasible cells are 0.
+    Returns ``(grid, k_col, m_row, feasible, eff)``; computed once and
+    shared across GPU types when building typed tables (only the
+    throughput evaluation depends on the device speed).
     """
     limits = model.limits
     global_hi = min(limits.max_batch_size, max_gpus * limits.max_local_bsz)
@@ -88,14 +110,27 @@ def _goodput_surface(
     )
 
     eff = model.efficiency_model.efficiency(grid)[None, :]  # (1, M)
+    return grid, k_col, m_row, feasible, eff
 
+
+def _surface_at_speed(
+    model: GoodputModel,
+    max_gpus: int,
+    inputs: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    speed: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Goodput surface for one device speed, given precomputed inputs."""
+    grid, k_col, m_row, feasible, eff = inputs
+    num_ks = k_col.shape[0]
     surfaces = np.zeros((max_gpus + 1, 2), dtype=float)
     argmax_m = np.zeros((max_gpus + 1, 2), dtype=float)
     for flag, nodes in ((SINGLE_NODE, 1), (MULTI_NODE, 2)):
-        tput = model.throughput_model.throughput(nodes, k_col, m_row)  # (K, M)
+        tput = model.throughput_model.throughput(
+            nodes, k_col, m_row, speed
+        )  # (K, M)
         good = np.where(feasible, tput * eff, -np.inf)
         best_idx = np.argmax(good, axis=1)  # (K,)
-        best_val = good[np.arange(len(ks)), best_idx]
+        best_val = good[np.arange(num_ks), best_idx]
         valid = np.isfinite(best_val)
         surfaces[1:, flag] = np.where(valid, best_val, 0.0)
         argmax_m[1:, flag] = np.where(valid, grid[best_idx], 0.0)
@@ -106,10 +141,28 @@ def _goodput_surface(
     return surfaces, argmax_m
 
 
+def _goodput_surface(
+    model: GoodputModel,
+    max_gpus: int,
+    points_per_octave: int,
+    speed: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized max_m GOODPUT over a (K, placement-flag) surface.
+
+    Returns:
+        Tuple of two arrays of shape ``(max_gpus + 1, 2)``: the maximal
+        goodput and the corresponding argmax batch size.  Row 0 and
+        infeasible cells are 0.
+    """
+    inputs = _surface_inputs(model, max_gpus, points_per_octave)
+    return _surface_at_speed(model, max_gpus, inputs, speed)
+
+
 def build_speedup_table(
     model: GoodputModel,
     max_gpus: int,
     points_per_octave: int = 16,
+    speed: float = 1.0,
 ) -> np.ndarray:
     """Speedup lookup table of shape ``(max_gpus + 1, 2)``.
 
@@ -122,13 +175,65 @@ def build_speedup_table(
         max_gpus: Largest GPU count the table covers (e.g. the job's
             exploration cap).
         points_per_octave: Density of the batch-size grid.
+        speed: Relative compute speed of the (single) GPU type; the table is
+            self-normalized, so speed only matters through the
+            compute/communication balance.  Use
+            :func:`build_typed_speedup_table` for mixed-type clusters.
     """
     if max_gpus < 1:
         raise ValueError("max_gpus must be >= 1")
-    surfaces, _ = _goodput_surface(model, max_gpus, points_per_octave)
+    surfaces, _ = _goodput_surface(model, max_gpus, points_per_octave, speed)
     min_gpus = model.limits.min_gpus()
     denom_flag = SINGLE_NODE
     denom = surfaces[min_gpus, denom_flag] if min_gpus <= max_gpus else 0.0
+    if denom <= 0:
+        return np.zeros_like(surfaces)
+    return surfaces / denom
+
+
+def build_typed_speedup_table(
+    model: GoodputModel,
+    max_gpus: int,
+    type_speeds: Sequence[float],
+    points_per_octave: int = 16,
+) -> np.ndarray:
+    """Per-GPU-type speedup table of shape ``(max_gpus + 1, 2, num_types)``.
+
+    ``table[k, flag, t]`` is the speedup of k GPUs of type t (co-located for
+    ``flag == SINGLE_NODE``, spanning nodes otherwise), normalized by the
+    goodput of the smallest feasible co-located placement on the *slowest*
+    type.  On a one-type cluster at speed 1.0 ``table[..., 0]`` equals
+    :func:`build_speedup_table`'s output exactly.
+
+    Args:
+        model: The job's goodput model at its current training moment.
+        max_gpus: Largest GPU count the table covers.
+        type_speeds: Relative compute speed of each GPU type, in the
+            cluster's type order.
+        points_per_octave: Density of the batch-size grid.
+    """
+    if max_gpus < 1:
+        raise ValueError("max_gpus must be >= 1")
+    speeds = np.asarray(type_speeds, dtype=float)
+    if speeds.ndim != 1 or speeds.size < 1:
+        raise ValueError("type_speeds must be a non-empty 1-D sequence")
+    if np.any(speeds <= 0):
+        raise ValueError("type_speeds must be positive")
+    # The batch-size grid, feasibility mask, and efficiency curve are
+    # speed-independent: compute them once and share across types.
+    inputs = _surface_inputs(model, max_gpus, points_per_octave)
+    surfaces = np.stack(
+        [
+            _surface_at_speed(model, max_gpus, inputs, float(s))[0]
+            for s in speeds
+        ],
+        axis=-1,
+    )  # (max_gpus + 1, 2, T)
+    ref_type = int(np.argmin(speeds))
+    min_gpus = model.limits.min_gpus()
+    denom = (
+        surfaces[min_gpus, SINGLE_NODE, ref_type] if min_gpus <= max_gpus else 0.0
+    )
     if denom <= 0:
         return np.zeros_like(surfaces)
     return surfaces / denom
@@ -138,9 +243,10 @@ def best_batch_size_table(
     model: GoodputModel,
     max_gpus: int,
     points_per_octave: int = 16,
+    speed: float = 1.0,
 ) -> np.ndarray:
     """argmax_m GOODPUT per (K, placement-flag); shape ``(max_gpus + 1, 2)``."""
     if max_gpus < 1:
         raise ValueError("max_gpus must be >= 1")
-    _, argmax_m = _goodput_surface(model, max_gpus, points_per_octave)
+    _, argmax_m = _goodput_surface(model, max_gpus, points_per_octave, speed)
     return argmax_m

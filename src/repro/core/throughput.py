@@ -12,6 +12,17 @@ nodes hosting at least one replica.  The seven learnable parameters form
 theta_sys (Eqn. 12) and are fit online by minimizing the root mean squared
 *logarithmic* error (RMSLE) against observed (placement, batch size, T_iter)
 triples using L-BFGS-B, with alpha/beta >= 0 and gamma in [1, 10] (Sec. 4.1).
+
+Heterogeneous GPU types are handled by a relative compute ``speed`` (Gavel's
+throughput-ratio abstraction): a device with speed s computes T_grad s times
+faster than the reference device, while T_sync (network-bound) is
+unaffected.  All evaluation methods accept a ``speed`` argument, profile
+observations carry the speed of the device they were measured on, and the
+fit divides the predicted T_grad by each observation's speed — so theta_sys
+is always expressed in *reference-device* units and a profile measured on
+one GPU type projects onto any other type (cf. adaptdl's
+``project_throughputs`` / ``gput_ratios``).  ``speed=1.0`` everywhere
+reproduces the seed's homogeneous model bit-for-bit.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ __all__ = [
     "ProfileEntry",
     "ExplorationState",
     "fit_throughput_params",
+    "project_throughput_params",
     "GAMMA_MIN",
     "GAMMA_MAX",
 ]
@@ -97,12 +109,18 @@ class ThroughputParams:
 
 @dataclass(frozen=True)
 class ProfileEntry:
-    """One observed (placement, batch size, iteration time) triple."""
+    """One observed (placement, batch size, iteration time) triple.
+
+    ``speed`` is the relative compute speed of the GPU type the observation
+    was measured on (1.0 = reference device); the fit uses it to normalize
+    theta_sys to reference-device units.
+    """
 
     num_nodes: int
     num_gpus: int
     batch_size: float
     t_iter: float
+    speed: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -116,6 +134,8 @@ class ProfileEntry:
             raise ValueError("batch_size must be positive")
         if self.t_iter <= 0:
             raise ValueError("t_iter must be positive")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
 
 
 @dataclass
@@ -169,12 +189,18 @@ class ThroughputModel:
     def __init__(self, params: ThroughputParams):
         self.params = params
 
-    def t_grad(self, num_gpus, batch_size):
-        """Time per iteration spent computing local gradients (Eqn. 9)."""
+    def t_grad(self, num_gpus, batch_size, speed=1.0):
+        """Time per iteration spent computing local gradients (Eqn. 9).
+
+        ``speed`` is the allocated GPU type's relative compute speed; a
+        device s times faster computes gradients in 1/s of the reference
+        time.
+        """
         p = self.params
         num_gpus = np.asarray(num_gpus, dtype=float)
         batch_size = np.asarray(batch_size, dtype=float)
-        return p.alpha_grad + p.beta_grad * batch_size / num_gpus
+        speed = np.asarray(speed, dtype=float)
+        return (p.alpha_grad + p.beta_grad * batch_size / num_gpus) / speed
 
     def t_sync(self, num_nodes, num_gpus):
         """Time per iteration spent synchronizing gradients (Eqn. 10)."""
@@ -188,10 +214,10 @@ class ThroughputModel:
         out = np.where(num_nodes <= 1, local, remote)
         return np.where(num_gpus <= 1, 0.0, out)
 
-    def t_iter(self, num_nodes, num_gpus, batch_size):
+    def t_iter(self, num_nodes, num_gpus, batch_size, speed=1.0):
         """Total time per training iteration (Eqn. 11)."""
         gamma = self.params.gamma
-        tg = np.asarray(self.t_grad(num_gpus, batch_size), dtype=float)
+        tg = np.asarray(self.t_grad(num_gpus, batch_size, speed), dtype=float)
         ts = np.asarray(self.t_sync(num_nodes, num_gpus), dtype=float)
         tg, ts = np.broadcast_arrays(tg, ts)
         # (tg^g + ts^g)^(1/g), computed stably by factoring out the max term.
@@ -201,10 +227,10 @@ class ThroughputModel:
             ratio = np.where(hi > 0, lo / np.where(hi > 0, hi, 1.0), 0.0)
         return hi * np.power(1.0 + np.power(ratio, gamma), 1.0 / gamma)
 
-    def throughput(self, num_nodes, num_gpus, batch_size):
+    def throughput(self, num_nodes, num_gpus, batch_size, speed=1.0):
         """Training samples processed per second (Eqn. 8)."""
         batch_size = np.asarray(batch_size, dtype=float)
-        return batch_size / self.t_iter(num_nodes, num_gpus, batch_size)
+        return batch_size / self.t_iter(num_nodes, num_gpus, batch_size, speed)
 
 
 def _predict_t_iter_raw(
@@ -212,11 +238,12 @@ def _predict_t_iter_raw(
     nodes: np.ndarray,
     gpus: np.ndarray,
     batch: np.ndarray,
+    speeds: np.ndarray,
 ) -> np.ndarray:
     """Eqn. 11 evaluated directly on a raw 7-vector (hot path for fitting)."""
     ag, bg, asl, bsl, asn, bsn = np.abs(vec[:6])
     gamma = float(np.clip(vec[6], GAMMA_MIN, GAMMA_MAX))
-    t_grad = ag + bg * batch / gpus
+    t_grad = (ag + bg * batch / gpus) / speeds
     extra = np.maximum(gpus - 2.0, 0.0)
     t_sync = np.where(nodes <= 1, asl + bsl * extra, asn + bsn * extra)
     t_sync = np.where(gpus <= 1, 0.0, t_sync)
@@ -234,14 +261,33 @@ def _rmsle(
     nodes: np.ndarray,
     gpus: np.ndarray,
     batch: np.ndarray,
+    speeds: np.ndarray,
     t_obs_log: np.ndarray,
 ) -> float:
     """RMSLE between predicted and observed iteration times."""
     full = base.copy()
     full[free_idx] = vec
-    pred = _predict_t_iter_raw(full, nodes, gpus, batch)
+    pred = _predict_t_iter_raw(full, nodes, gpus, batch, speeds)
     err = np.log(np.maximum(pred, 1e-12)) - t_obs_log
     return float(np.sqrt(np.mean(err * err)))
+
+
+def project_throughput_params(
+    params: ThroughputParams, speed_ratio: float
+) -> ThroughputParams:
+    """Project theta_sys onto a GPU type ``speed_ratio`` times faster.
+
+    Scales the gradient-computation parameters by 1/speed_ratio and leaves
+    the (network-bound) synchronization parameters untouched — the explicit
+    form of the throughput-ratio projection that evaluating the model with a
+    ``speed`` argument performs implicitly.
+    """
+    if speed_ratio <= 0:
+        raise ValueError("speed_ratio must be positive")
+    return params.replace(
+        alpha_grad=params.alpha_grad / speed_ratio,
+        beta_grad=params.beta_grad / speed_ratio,
+    )
 
 
 def fit_throughput_params(
@@ -280,6 +326,7 @@ def fit_throughput_params(
     gpus = np.array([o.num_gpus for o in obs], dtype=float)
     batch = np.array([o.batch_size for o in obs], dtype=float)
     t_obs = np.array([o.t_iter for o in obs], dtype=float)
+    speeds = np.array([o.speed for o in obs], dtype=float)
 
     pinned = exploration.pinned_params() if exploration is not None else ()
     free_names = [n for n in _PARAM_NAMES if n not in pinned]
@@ -289,10 +336,12 @@ def fit_throughput_params(
     base[-1] = GAMMA_MIN  # gamma placeholder; always a free parameter
 
     # Scale-aware initial guesses: alpha_grad near the smallest observed
-    # iteration time, beta_grad near t_iter / local batch size.
-    t_min = float(np.min(t_obs))
+    # iteration time, beta_grad near t_iter / local batch size.  Observed
+    # times are converted to reference-device units (t * speed) first.
+    t_ref = t_obs * speeds
+    t_min = float(np.min(t_ref))
     local_bsz = batch / gpus
-    beta_guess = float(np.median(t_obs / np.maximum(local_bsz, 1e-9)))
+    beta_guess = float(np.median(t_ref / np.maximum(local_bsz, 1e-9)))
     default = {
         "alpha_grad": 0.5 * t_min,
         "beta_grad": 0.5 * beta_guess,
@@ -325,7 +374,7 @@ def fit_throughput_params(
 
     best_vec: Optional[np.ndarray] = None
     best_loss = np.inf
-    args = (free_idx, base, nodes, gpus, batch, np.log(t_obs))
+    args = (free_idx, base, nodes, gpus, batch, speeds, np.log(t_obs))
     for start in starts:
         clipped = np.clip(
             start,

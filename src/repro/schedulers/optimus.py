@@ -15,6 +15,11 @@ evaluation setup:
 
 Optimus adapts *resources only*: the extra GPUs it allocates cannot be
 exploited by larger batch sizes, which is exactly the gap Pollux closes.
+
+On heterogeneous clusters, placement greedily prefers faster GPU types
+(packing each job entirely inside the fastest group that fits); the
+marginal-gain GPU counts themselves are computed with the reference-speed
+oracle model.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..cluster.allocation import pack_allocation
+from ..cluster.allocation import pack_allocation_typed
 from ..cluster.spec import ClusterSpec
 from ..sim.job import SimJob
 
@@ -64,7 +69,18 @@ class OptimusScheduler:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _rate(job: SimJob, num_gpus: int, gpus_per_node: int) -> float:
+    def _min_nodes_table(cluster: ClusterSpec) -> np.ndarray:
+        """``table[k]``: fewest nodes that can host k GPUs (best-case
+        packing onto the cluster's actual per-node capacities, so mixed
+        node sizes are costed correctly; equals ceil(k / gpus_per_node) on
+        homogeneous clusters)."""
+        caps = np.sort(cluster.capacities())[::-1]
+        cumulative = np.cumsum(caps)
+        ks = np.arange(cluster.total_gpus + 1)
+        return np.searchsorted(cumulative, ks) + 1
+
+    @staticmethod
+    def _rate(job: SimJob, num_gpus: int, nodes_table: np.ndarray) -> float:
         """Oracle progress rate (m0-equiv samples/s) at ``num_gpus``."""
         if num_gpus < 1:
             return 0.0
@@ -73,16 +89,16 @@ class OptimusScheduler:
         if feasible is None or not (feasible[0] <= batch_size <= feasible[1]):
             if batch_size > num_gpus * job.model.limits.max_local_bsz:
                 return 0.0
-        num_nodes = 1 if num_gpus <= gpus_per_node else int(
-            np.ceil(num_gpus / gpus_per_node)
-        )
+        num_nodes = int(nodes_table[min(num_gpus, len(nodes_table) - 1)])
         tput = float(
             job.model.throughput_true.throughput(num_nodes, num_gpus, batch_size)
         )
         return tput * job.efficiency_true(batch_size)
 
-    def _remaining_time(self, job: SimJob, num_gpus: int, gpus_per_node: int) -> float:
-        rate = self._rate(job, num_gpus, gpus_per_node)
+    def _remaining_time(
+        self, job: SimJob, num_gpus: int, nodes_table: np.ndarray
+    ) -> float:
+        rate = self._rate(job, num_gpus, nodes_table)
         if rate <= 0:
             return float("inf")
         return (job.target - job.progress) / rate
@@ -111,7 +127,7 @@ class OptimusScheduler:
             return {job.name: job.allocation.copy() for job in jobs}
         self._last_realloc = now
         self._last_job_set = job_set
-        gpus_per_node = cluster.max_gpus_per_node
+        nodes_table = self._min_nodes_table(cluster)
         total_free = cluster.total_gpus
         counts: Dict[str, int] = {}
 
@@ -122,7 +138,7 @@ class OptimusScheduler:
         ordered = sorted(
             jobs,
             key=lambda j: (
-                self._remaining_time(j, self._min_gpus(j), gpus_per_node),
+                self._remaining_time(j, self._min_gpus(j), nodes_table),
                 j.submission_time,
                 j.name,
             ),
@@ -141,8 +157,8 @@ class OptimusScheduler:
             k = counts[job.name]
             if k == 0 or k >= self.max_gpus_per_job:
                 return 0.0
-            before = self._remaining_time(job, k, gpus_per_node)
-            after = self._remaining_time(job, k + 1, gpus_per_node)
+            before = self._remaining_time(job, k, nodes_table)
+            after = self._remaining_time(job, k + 1, nodes_table)
             if not np.isfinite(before) or not np.isfinite(after):
                 return 0.0
             return before - after
@@ -176,7 +192,7 @@ class OptimusScheduler:
                 allocations[job.name] = current.copy()
                 free = free - current
                 continue
-            alloc = pack_allocation(cluster, count, free)
+            alloc = pack_allocation_typed(cluster, count, free)
             if int(alloc.sum()) == count and count > 0:
                 allocations[job.name] = alloc
                 free = free - alloc

@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..cluster.spec import ClusterSpec
+from ..cluster.spec import ClusterSpec, NodeSpec
 from ..core.autoscale import AutoscaleConfig, UtilityAutoscaler
 from ..core.sched import PolluxSched, PolluxSchedConfig, SchedJobInfo
 from ..sim.job import SimJob
@@ -56,6 +56,11 @@ class PolluxScheduler:
         self.sched.set_cluster(cluster)
         return self.sched.optimize(_job_infos(jobs))
 
+    @property
+    def last_utility(self) -> float:
+        """UTILITY(A) (Eqn. 17) of the last optimized allocation matrix."""
+        return self.sched.last_utility
+
     def current_utility(self, jobs: Sequence[SimJob]) -> float:
         """UTILITY(A) of the currently applied allocations (Eqn. 17)."""
         if not jobs:
@@ -66,21 +71,28 @@ class PolluxScheduler:
 
 
 class PolluxAutoscalerHook:
-    """Simulator autoscaler hook wrapping :class:`UtilityAutoscaler`."""
+    """Simulator autoscaler hook wrapping :class:`UtilityAutoscaler`.
+
+    Probes always evaluate resized copies of the *live* cluster (so typed
+    fleets are probed with their real node shapes).  ``grow_node_spec``
+    chooses the node shape (GPU count and type) added when the cluster
+    grows on a heterogeneous fleet; ``None`` clones the last node (the
+    homogeneous seed behavior).
+    """
 
     def __init__(
         self,
         config: AutoscaleConfig,
         interval: float = 600.0,
-        gpus_per_node: int = 4,
         sched_config: Optional[PolluxSchedConfig] = None,
         seed: int = 0,
+        grow_node_spec: Optional[NodeSpec] = None,
     ):
         self.interval = float(interval)
+        self.grow_node_spec = grow_node_spec
         self.autoscaler = UtilityAutoscaler(
             config,
             sched_config=sched_config,
-            gpus_per_node=gpus_per_node,
             seed=seed,
         )
 
@@ -96,6 +108,10 @@ class PolluxAutoscalerHook:
             return self.autoscaler.config.min_nodes
         utility = scheduler.current_utility(jobs)
         decision = self.autoscaler.decide(
-            cluster.num_nodes, utility, _job_infos(jobs)
+            cluster.num_nodes,
+            utility,
+            _job_infos(jobs),
+            cluster=cluster,
+            grow_with=self.grow_node_spec,
         )
         return decision.num_nodes

@@ -10,6 +10,10 @@ job's replicas onto as few nodes as possible.
 The batch size and GPU count come from the job's submitted configuration —
 Tiresias adapts neither (the "+TunedJobs" variant of Sec. 5.2 simply means
 those fixed configurations were chosen well).
+
+On heterogeneous clusters, placement greedily prefers faster GPU types: a
+job is packed entirely inside the fastest type group that can host it,
+falling back to a type-straddling placement only when no single group fits.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..cluster.allocation import pack_allocation
+from ..cluster.allocation import pack_allocation_typed
 from ..cluster.spec import ClusterSpec
 from ..sim.job import SimJob
 
@@ -73,7 +77,7 @@ class TiresiasScheduler:
                 allocations[job.name] = current.copy()
                 free = free - current
                 continue
-            alloc = pack_allocation(cluster, desired, free)
+            alloc = pack_allocation_typed(cluster, desired, free)
             if int(alloc.sum()) == desired and desired > 0:
                 allocations[job.name] = alloc
                 free = free - alloc

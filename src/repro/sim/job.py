@@ -33,12 +33,29 @@ class SimJob:
     the job's current progress fraction.
     """
 
-    def __init__(self, spec: JobSpec, num_nodes: int, agent_seed: int = 0):
+    def __init__(
+        self,
+        spec: JobSpec,
+        num_nodes: int,
+        agent_seed: int = 0,
+        node_speeds: Optional[np.ndarray] = None,
+    ):
         self.spec = spec
         self.model = spec.model
         self.progress = 0.0
         self.target = spec.model.target_samples
         self.allocation = np.zeros(num_nodes, dtype=np.int64)
+        # Per-node relative compute speed (1.0 = the reference T4); the
+        # simulator refreshes this on cluster resizes.
+        if node_speeds is None:
+            self.node_speeds = np.ones(num_nodes, dtype=float)
+        else:
+            self.node_speeds = np.asarray(node_speeds, dtype=float)
+            if self.node_speeds.shape != (num_nodes,):
+                raise ValueError(
+                    f"node_speeds has shape {self.node_speeds.shape}, "
+                    f"expected ({num_nodes},)"
+                )
         self.batch_size = float(spec.model.init_batch_size)
         self.gputime = 0.0
         self.submission_time = spec.submission_time
@@ -75,6 +92,19 @@ class SimJob:
     def is_distributed(self) -> bool:
         """Whether the job spans two or more nodes (interference-relevant)."""
         return self.num_nodes_occupied >= 2
+
+    @property
+    def current_speed(self) -> float:
+        """Relative compute speed of the current allocation.
+
+        Synchronous data-parallel SGD is gated by its slowest replica, so a
+        placement straddling GPU types runs at the slowest occupied node's
+        speed.  1.0 when the job holds no GPUs.
+        """
+        occupied = self.allocation > 0
+        if not occupied.any():
+            return 1.0
+        return float(self.node_speeds[occupied].min())
 
     @property
     def complete(self) -> bool:
@@ -120,7 +150,10 @@ class SimJob:
             return 0.0
         tput = float(
             self.model.throughput_true.throughput(
-                self.num_nodes_occupied, self.num_gpus, self.batch_size
+                self.num_nodes_occupied,
+                self.num_gpus,
+                self.batch_size,
+                self.current_speed,
             )
         )
         return tput * (1.0 - slowdown)
@@ -135,7 +168,10 @@ class SimJob:
             raise RuntimeError("job holds no GPUs")
         t = float(
             self.model.throughput_true.t_iter(
-                self.num_nodes_occupied, self.num_gpus, self.batch_size
+                self.num_nodes_occupied,
+                self.num_gpus,
+                self.batch_size,
+                self.current_speed,
             )
         )
         if slowdown > 0:

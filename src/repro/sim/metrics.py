@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +44,10 @@ class TimelineSample:
     pending_jobs: int
     mean_efficiency: float  # mean stat. efficiency across running jobs
     mean_speedup_utility: float  # UTILITY(A) if provided by the scheduler
+    # Per-GPU-type breakdown (aligned tuples; empty for legacy samples).
+    gpu_type_names: Tuple[str, ...] = ()
+    gpus_in_use_by_type: Tuple[int, ...] = ()
+    total_gpus_by_type: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -123,6 +127,35 @@ class SimResult:
         ]
         return float(np.mean(samples)) if samples else float("nan")
 
+    def avg_speedup_utility(self) -> float:
+        """Time-averaged UTILITY(A) (Eqn. 17) while jobs were running.
+
+        Only meaningful for schedulers that report a utility (Pollux); 0 for
+        the baselines.
+        """
+        samples = [
+            t.mean_speedup_utility for t in self.timeline if t.running_jobs > 0
+        ]
+        return float(np.mean(samples)) if samples else float("nan")
+
+    def per_type_utilization(self) -> Dict[str, float]:
+        """Time-averaged GPU utilization per GPU type.
+
+        Aggregates the per-type timeline breakdown by type name (robust to
+        the type set changing mid-run under autoscaling).  Empty for runs
+        recorded before typed clusters existed.
+        """
+        used: Dict[str, List[float]] = {}
+        for sample in self.timeline:
+            for name, in_use, total in zip(
+                sample.gpu_type_names,
+                sample.gpus_in_use_by_type,
+                sample.total_gpus_by_type,
+            ):
+                if total > 0:
+                    used.setdefault(name, []).append(in_use / total)
+        return {name: float(np.mean(vals)) for name, vals in used.items()}
+
     def node_hours(self) -> float:
         """Total node-hours provisioned (the cloud cost proxy, Sec. 5.3.3)."""
         return self.node_seconds / 3600.0
@@ -140,6 +173,7 @@ class SimResult:
             "makespan_hours": self.makespan() / 3600.0,
             "avg_efficiency": self.avg_efficiency(),
             "avg_gpu_utilization": self.avg_gpu_utilization(),
+            "avg_speedup_utility": self.avg_speedup_utility(),
             "node_hours": self.node_hours(),
             "unfinished_jobs": float(self.num_unfinished),
         }

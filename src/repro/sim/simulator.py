@@ -9,7 +9,11 @@ Reproduces the paper's simulator semantics:
 - every re-allocation pauses the job for a checkpoint-restart delay (30 s);
 - optional network interference slows down distributed jobs sharing a node
   (Sec. 5.3.2);
-- an optional autoscaler hook grows/shrinks the cluster (Sec. 4.2.2/5.3.3).
+- an optional autoscaler hook grows/shrinks the cluster (Sec. 4.2.2/5.3.3),
+  optionally with a chosen GPU type on heterogeneous clusters;
+- on typed clusters, ground-truth goodput runs at the compute speed of the
+  job's slowest allocated node, and agents record each measurement's device
+  speed so fitted models project across GPU types.
 
 Completion times are interpolated within a tick, so tick granularity does
 not quantize JCTs.
@@ -22,7 +26,7 @@ from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
-from ..cluster.spec import ClusterSpec
+from ..cluster.spec import ClusterSpec, NodeSpec
 from ..workload.trace import JobSpec
 from .job import JobPhase, SimJob
 from .metrics import JobRecord, SimResult, TimelineSample
@@ -54,7 +58,13 @@ class Scheduler(Protocol):
 
 
 class ClusterAutoscaler(Protocol):
-    """Cloud auto-scaling hook (Sec. 4.2.2)."""
+    """Cloud auto-scaling hook (Sec. 4.2.2).
+
+    An autoscaler may additionally expose a ``grow_node_spec`` attribute (a
+    :class:`~repro.cluster.spec.NodeSpec`): on heterogeneous clusters the
+    simulator then grows with nodes of that spec (a chosen GPU type) instead
+    of cloning the last node.
+    """
 
     interval: float
 
@@ -110,8 +120,14 @@ class Simulator:
         self.config = config
         self.autoscaler = autoscaler
         self._rng = np.random.default_rng(config.seed)
+        node_speeds = cluster.node_speeds()
         self.jobs = [
-            SimJob(spec, cluster.num_nodes, agent_seed=config.seed + idx)
+            SimJob(
+                spec,
+                cluster.num_nodes,
+                agent_seed=config.seed + idx,
+                node_speeds=node_speeds,
+            )
             for idx, spec in enumerate(
                 sorted(jobs, key=lambda s: (s.submission_time, s.name))
             )
@@ -123,6 +139,13 @@ class Simulator:
         self._next_schedule = 0.0
         self._next_agent = 0.0
         self._next_autoscale = 0.0
+        self._refresh_type_cache()
+
+    def _refresh_type_cache(self) -> None:
+        """Cache the cluster's GPU-type structure (changes only on resize)."""
+        self._type_ids = self.cluster.node_type_ids()
+        self._type_names = tuple(t.name for t in self.cluster.gpu_types)
+        self._type_caps = tuple(int(c) for c in self.cluster.type_capacities())
 
     # ------------------------------------------------------------------
     # Helpers
@@ -163,26 +186,32 @@ class Simulator:
             if alloc is not None:
                 job.apply_allocation(alloc, self.now, self.config.restart_delay)
 
-    def _resize_cluster(self, num_nodes: int, jobs: Sequence[SimJob]) -> None:
-        """Grow or shrink the cluster; jobs on dropped nodes restart."""
+    def _resize_cluster(
+        self, num_nodes: int, grow_with: Optional["NodeSpec"] = None
+    ) -> None:
+        """Grow or shrink the cluster; jobs that lose GPUs restart.
+
+        Every job's allocation vector is reshaped to the new node count
+        (dropped nodes truncate from the end, new nodes start empty); a
+        restart is counted only when the job actually lost GPUs on dropped
+        nodes and still holds some.
+        """
         if num_nodes == self.cluster.num_nodes:
             return
-        old_nodes = self.cluster.num_nodes
-        self.cluster = self.cluster.resized(num_nodes)
+        keep = min(self.cluster.num_nodes, num_nodes)
+        self.cluster = self.cluster.resized(num_nodes, grow_with=grow_with)
+        self._refresh_type_cache()
+        node_speeds = self.cluster.node_speeds()
         for job in self.jobs:
             old_alloc = job.allocation
+            lost = int(old_alloc[keep:].sum()) > 0
             new_alloc = np.zeros(num_nodes, dtype=np.int64)
-            keep = min(old_nodes, num_nodes)
             new_alloc[:keep] = old_alloc[:keep]
-            if new_alloc.shape != old_alloc.shape or not np.array_equal(
-                new_alloc[:keep], old_alloc[:keep]
-            ) or old_alloc[keep:].sum() > 0:
-                # Reshape in place; trigger restart only if GPUs were lost.
-                lost = old_alloc[keep:].sum() > 0
-                job.allocation = new_alloc
-                if lost and job.num_gpus > 0:
-                    job.restart_until = self.now + self.config.restart_delay
-                    job.num_restarts += 1
+            job.allocation = new_alloc
+            job.node_speeds = node_speeds
+            if lost and job.num_gpus > 0:
+                job.restart_until = self.now + self.config.restart_delay
+                job.num_restarts += 1
 
     def _tune_batch_sizes(self, jobs: Sequence[SimJob]) -> None:
         """Let each running Pollux job's agent re-tune its batch size."""
@@ -191,7 +220,7 @@ class Simulator:
                 continue
             try:
                 batch_size, _ = job.agent.tune_batch_size(
-                    job.num_nodes_occupied, job.num_gpus
+                    job.num_nodes_occupied, job.num_gpus, job.current_speed
                 )
             except ValueError:
                 continue
@@ -205,7 +234,11 @@ class Simulator:
             self._rng.lognormal(mean=0.0, sigma=cfg.profile_noise)
         )
         job.agent.record_iteration(
-            job.num_nodes_occupied, job.num_gpus, job.batch_size, t_obs
+            job.num_nodes_occupied,
+            job.num_gpus,
+            job.batch_size,
+            t_obs,
+            speed=job.current_speed,
         )
         phi_obs = job.phi_true() * float(
             self._rng.lognormal(mean=0.0, sigma=cfg.gns_noise)
@@ -272,18 +305,23 @@ class Simulator:
                 desired = self.autoscaler.decide(
                     self.now, active, self.cluster, self.scheduler
                 )
-                self._resize_cluster(int(desired), active)
+                grow_with = getattr(self.autoscaler, "grow_node_spec", None)
+                self._resize_cluster(int(desired), grow_with=grow_with)
                 self._next_autoscale = self.now + self.autoscaler.interval
 
+            # A tick may hit both the scheduling and the agent interval;
+            # batch sizes are re-tuned at most once per tick.
+            tuned_this_tick = False
             if self.now >= self._next_schedule:
                 allocations = self.scheduler.schedule(self.now, active, self.cluster)
                 self._apply_allocations(allocations, active)
                 self._next_schedule = self.now + cfg.scheduling_interval
                 if self.scheduler.adapts_batch_size:
                     self._tune_batch_sizes(active)
+                    tuned_this_tick = True
 
             if self.now >= self._next_agent:
-                if self.scheduler.adapts_batch_size:
+                if self.scheduler.adapts_batch_size and not tuned_this_tick:
                     self._tune_batch_sizes(active)
                 self._next_agent = self.now + cfg.agent_interval
 
@@ -301,11 +339,23 @@ class Simulator:
             running = [
                 j for j in active if j.phase(self.now) == JobPhase.RUNNING
             ]
+            node_used = np.zeros(self.cluster.num_nodes, dtype=np.int64)
+            for job in active:
+                node_used += job.allocation
+            gpus_in_use = int(node_used.sum())
+            if len(self._type_names) == 1:
+                gpus_by_type = (gpus_in_use,)
+            else:
+                type_ids = self._type_ids
+                gpus_by_type = tuple(
+                    int(node_used[type_ids == t].sum())
+                    for t in range(len(self._type_names))
+                )
             result.timeline.append(
                 TimelineSample(
                     time=self.now,
                     num_nodes=self.cluster.num_nodes,
-                    gpus_in_use=int(sum(j.num_gpus for j in active)),
+                    gpus_in_use=gpus_in_use,
                     total_gpus=self.cluster.total_gpus,
                     running_jobs=len(running),
                     pending_jobs=sum(
@@ -316,7 +366,12 @@ class Simulator:
                         if running
                         else 0.0
                     ),
-                    mean_speedup_utility=0.0,
+                    mean_speedup_utility=float(
+                        getattr(self.scheduler, "last_utility", 0.0)
+                    ),
+                    gpu_type_names=self._type_names,
+                    gpus_in_use_by_type=gpus_by_type,
+                    total_gpus_by_type=self._type_caps,
                 )
             )
             result.node_seconds += self.cluster.num_nodes * cfg.tick_seconds

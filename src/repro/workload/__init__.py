@@ -14,7 +14,13 @@ from .models import (
     Category,
     ModelProfile,
 )
-from .trace import JobSpec, TraceConfig, generate_trace, hourly_submission_weights
+from .trace import (
+    JobSpec,
+    TraceConfig,
+    generate_heterogeneous_workload,
+    generate_trace,
+    hourly_submission_weights,
+)
 
 __all__ = [
     "sample_tuned_config",
@@ -29,6 +35,7 @@ __all__ = [
     "ModelProfile",
     "JobSpec",
     "TraceConfig",
+    "generate_heterogeneous_workload",
     "generate_trace",
     "hourly_submission_weights",
 ]

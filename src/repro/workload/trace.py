@@ -18,10 +18,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cluster.spec import ClusterSpec
 from .configs import sample_tuned_config, sample_user_config
 from .models import MODEL_ZOO, WORKLOAD_FRACTIONS, ModelProfile
 
-__all__ = ["JobSpec", "TraceConfig", "generate_trace", "hourly_submission_weights"]
+__all__ = [
+    "JobSpec",
+    "TraceConfig",
+    "generate_trace",
+    "generate_heterogeneous_workload",
+    "hourly_submission_weights",
+]
 
 #: Relative submission rate per hour of the 8-hour evaluation window; the
 #: fourth hour peaks at 3x the first hour's rate (Fig. 6).
@@ -115,6 +122,33 @@ def _sample_models(
     probs = probs / probs.sum()
     picks = rng.choice(len(names), size=num_jobs, p=probs)
     return [MODEL_ZOO[names[i]] for i in picks]
+
+
+def generate_heterogeneous_workload(
+    preset: str,
+    num_jobs: int = 160,
+    duration_hours: float = 8.0,
+    seed: int = 0,
+    user_configured_fraction: float = 0.0,
+) -> Tuple[ClusterSpec, List[JobSpec]]:
+    """A (cluster, trace) pair for a named heterogeneous cluster preset.
+
+    Builds the cluster from :data:`repro.cluster.spec.CLUSTER_PRESETS` and a
+    matching trace whose GPU requests are capped by the cluster's total GPU
+    count.  Single-type presets reproduce the homogeneous seed setting.
+    """
+    cluster = ClusterSpec.from_preset(preset)
+    trace = generate_trace(
+        TraceConfig(
+            num_jobs=num_jobs,
+            duration_hours=duration_hours,
+            seed=seed,
+            user_configured_fraction=user_configured_fraction,
+            max_gpus=cluster.total_gpus,
+            gpus_per_node=cluster.max_gpus_per_node,
+        )
+    )
+    return cluster, trace
 
 
 def generate_trace(config: TraceConfig = TraceConfig()) -> List[JobSpec]:

@@ -38,3 +38,10 @@ def test_scheduler_comparison_runs():
     )
     assert "avg JCT relative to Pollux" in out
     assert "pollux" in out
+
+
+def test_heterogeneous_cluster_runs():
+    out = run_example("heterogeneous_cluster.py", "--jobs", "4", "--hours", "0.5")
+    assert "per-type SPEEDUP table" in out
+    assert "v100" in out
+    assert "per-type GPU utilization" in out
