@@ -23,9 +23,12 @@ from .sched import PolluxSched, PolluxSchedConfig, SchedJobInfo, job_weight
 from .speedup import (
     best_batch_size_table,
     build_speedup_table,
+    build_surfaces,
     build_typed_speedup_table,
+    build_typed_surfaces,
     speedup,
 )
+from .surfacecache import CacheStats, SurfaceCache
 from .throughput import (
     ExplorationState,
     ProfileEntry,
@@ -33,6 +36,8 @@ from .throughput import (
     ThroughputParams,
     fit_throughput_params,
     project_throughput_params,
+    t_iter_scalar,
+    throughput_scalar,
 )
 
 __all__ = [
@@ -70,12 +75,18 @@ __all__ = [
     "job_weight",
     "best_batch_size_table",
     "build_speedup_table",
+    "build_surfaces",
     "build_typed_speedup_table",
+    "build_typed_surfaces",
     "speedup",
+    "CacheStats",
+    "SurfaceCache",
     "ExplorationState",
     "ProfileEntry",
     "ThroughputModel",
     "ThroughputParams",
     "fit_throughput_params",
     "project_throughput_params",
+    "t_iter_scalar",
+    "throughput_scalar",
 ]

@@ -18,6 +18,8 @@ import numpy as np
 from .adascale import adascale_gain
 from .efficiency import EfficiencyModel, GradientStats
 from .goodput import BatchSizeLimits, GoodputModel
+from .speedup import MULTI_NODE, SINGLE_NODE
+from .surfacecache import SurfaceCache
 from .throughput import (
     ExplorationState,
     ProfileEntry,
@@ -26,6 +28,15 @@ from .throughput import (
 )
 
 __all__ = ["AgentReport", "PolluxAgent", "optimistic_params"]
+
+#: Batch sizes are bucketed at ~5% resolution: bucket = round(ln m / ln 1.05).
+_BUCKET_LOG_BASE = float(np.log(1.05))
+
+#: Relative phi quantization for table-driven batch tuning: the argmax
+#: batch size is insensitive to small phi changes (both throughput and
+#: efficiency vary smoothly), so tuning tables are reused while phi stays
+#: within a 5% bucket instead of being rebuilt on every noisy EMA update.
+TABLE_TUNING_PHI_TOL = 0.05
 
 
 def optimistic_params(beta_grad: float = 1.0, alpha_grad: float = 0.0) -> ThroughputParams:
@@ -69,6 +80,49 @@ class AgentReport:
         cap = max(1, 2 * self.max_gpus_seen)
         return int(min(cap, hard_cap))
 
+    def fingerprint(self, phi_tol: float = 0.0) -> Tuple[float, ...]:
+        """Cheap value key identifying the goodput surface this report spans.
+
+        Two reports with equal fingerprints produce bit-identical speedup
+        and batch-size tables (for the same table shape parameters), which
+        is what lets :class:`~repro.core.surfacecache.SurfaceCache` share
+        one table build across PolluxSched's round, ``utility()``
+        evaluations, and the autoscaler's cluster-size probes within a tick.
+
+        The key covers theta_sys (7 floats), phi_t, and the batch-size
+        limits; ``max_gpus_seen`` is deliberately excluded — it enters the
+        table only through the exploration cap, which the cache keys
+        separately.  With ``phi_tol > 0``, phi is quantized to relative
+        buckets of that width (e.g. 0.05 = 5%-wide buckets on a log scale),
+        so fingerprints also collide *across* scheduling rounds while phi
+        drifts within a bucket — an opt-in approximation for cross-round
+        table reuse (see ``PolluxSchedConfig.surface_phi_tol``).
+        """
+        phi = self.grad_noise_scale
+        if phi_tol > 0.0:
+            phi_key = float(round(np.log1p(phi) / np.log1p(phi_tol)))
+        else:
+            phi_key = phi
+        p = self.throughput_params
+        return (
+            p.alpha_grad,
+            p.beta_grad,
+            p.alpha_sync_local,
+            p.beta_sync_local,
+            p.alpha_sync_node,
+            p.beta_sync_node,
+            p.gamma,
+            phi_key,
+            self.init_batch_size,
+            # limits.init_batch_size normally equals init_batch_size (the
+            # goodput model asserts it), but a hand-built report can
+            # disagree — and the surface depends on it through min_gpus and
+            # the grid's lower bound, so it must be part of the key.
+            self.limits.init_batch_size,
+            self.limits.max_batch_size,
+            self.limits.max_local_bsz,
+        )
+
 
 class PolluxAgent:
     """Measures, models, and tunes a single training job.
@@ -111,6 +165,11 @@ class PolluxAgent:
         self._params: Optional[ThroughputParams] = None
         self._fit_dirty = False
         self._obs_since_fit = 0
+        # Surface cache backing table-driven batch tuning (created on first
+        # use).  phi drifts a little on every observation, so the keys
+        # quantize it (TABLE_TUNING_PHI_TOL) — otherwise no tuning tick
+        # would ever hit and "table mode" would rebuild a surface per tick.
+        self._tune_cache: Optional[SurfaceCache] = None
         #: Re-fit after this many observations even without new configs, to
         #: absorb measurement noise into the running means.
         self.refit_every = 50
@@ -145,7 +204,7 @@ class PolluxAgent:
         self.exploration.observe(num_nodes, num_gpus)
         self.max_gpus_seen = max(self.max_gpus_seen, num_gpus)
         self.total_iterations += 1
-        bucket = int(round(np.log(max(batch_size, 1.0)) / np.log(1.05)))
+        bucket = int(round(np.log(max(batch_size, 1.0)) / _BUCKET_LOG_BASE))
         key = (num_nodes, num_gpus, bucket, float(speed))
         placement = (num_nodes, num_gpus)
         if placement not in self._placements_seen:
@@ -237,7 +296,12 @@ class PolluxAgent:
         return self.report().goodput_model()
 
     def tune_batch_size(
-        self, num_nodes: int, num_gpus: int, speed: float = 1.0
+        self,
+        num_nodes: int,
+        num_gpus: int,
+        speed: float = 1.0,
+        method: str = "search",
+        points_per_octave: int = 16,
     ) -> Tuple[float, float]:
         """Most efficient batch size for the current allocation (Eqn. 13).
 
@@ -245,6 +309,17 @@ class PolluxAgent:
             num_nodes: Nodes hosting at least one replica.
             num_gpus: Total allocated GPUs.
             speed: Relative compute speed of the allocated GPU type.
+            method: ``"search"`` (default) runs golden-section search over
+                the feasible batch sizes — the paper's Eqn. 13 procedure.
+                ``"table"`` takes an O(1) lookup from the memoized argmax
+                batch-size table of :func:`repro.core.speedup.
+                best_batch_size_table` instead; the goodput at the table's
+                choice matches the search optimum to within the geometric
+                grid's resolution (equivalence asserted by
+                ``tests/test_surfacecache.py``), but the batch size itself
+                can differ by up to one grid step, so table mode is opt-in
+                (``SimConfig.batch_tuning``) rather than the default.
+            points_per_octave: Grid density for ``method="table"``.
 
         Returns:
             Tuple ``(batch_size, learning_rate)`` where the learning rate is
@@ -252,9 +327,46 @@ class PolluxAgent:
         """
         if num_gpus < 1:
             raise ValueError("job has no GPUs allocated")
-        model = self.goodput_model()
-        m_star, _ = model.optimize_batch_size(num_nodes, num_gpus, speed=speed)
+        if method == "search":
+            model = self.goodput_model()
+            m_star, _ = model.optimize_batch_size(num_nodes, num_gpus, speed=speed)
+        elif method == "table":
+            m_star = self._tune_from_table(
+                num_nodes, num_gpus, speed, points_per_octave
+            )
+        else:
+            raise ValueError(f"unknown batch tuning method {method!r}")
         lr = self.init_lr * adascale_gain(
             self.grad_noise_scale, self.init_batch_size, m_star
         )
         return m_star, lr
+
+    def _tune_from_table(
+        self, num_nodes: int, num_gpus: int, speed: float, points_per_octave: int
+    ) -> float:
+        """O(1) batch-size lookup from the cached argmax table.
+
+        The table comes from the agent's own :class:`SurfaceCache` (the
+        same entry type PolluxSched caches — speedup plus argmax surfaces
+        from one pass), with phi quantized at ``TABLE_TUNING_PHI_TOL`` so
+        consecutive tuning ticks hit the cache while theta_sys is stable:
+        a surface is recomputed only after a re-fit or once phi drifts out
+        of its bucket, and every tick in between is a pure lookup.
+        """
+        if self._tune_cache is None:
+            self._tune_cache = SurfaceCache(
+                maxsize=8, phi_tol=TABLE_TUNING_PHI_TOL
+            )
+        report = self.report()
+        _, bsz_table = self._tune_cache.get_flat(
+            report, num_gpus, points_per_octave, float(speed)
+        )
+        flag = MULTI_NODE if num_nodes >= 2 else SINGLE_NODE
+        m_star = float(bsz_table[num_gpus, flag])
+        if m_star <= 0:
+            raise ValueError(
+                f"initial batch size {self.init_batch_size} does not fit "
+                f"on {num_gpus} GPU(s) with max_local_bsz "
+                f"{self.limits.max_local_bsz}"
+            )
+        return m_star

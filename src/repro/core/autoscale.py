@@ -29,6 +29,7 @@ import numpy as np
 from ..cluster.spec import ClusterSpec, NodeSpec
 from .genetic import GAConfig, GeneticOptimizer
 from .sched import PolluxSched, PolluxSchedConfig, SchedJobInfo
+from .surfacecache import SurfaceCache
 
 __all__ = ["AutoscaleConfig", "AutoscaleDecision", "UtilityAutoscaler"]
 
@@ -88,6 +89,15 @@ class UtilityAutoscaler:
         )
         self.gpus_per_node = gpus_per_node
         self._seed = seed
+        #: Fallback surface cache shared across this autoscaler's probes
+        #: when the caller does not pass the live scheduler's cache.
+        if self.sched_config.surface_cache_size > 0:
+            self.surface_cache: Optional[SurfaceCache] = SurfaceCache(
+                maxsize=self.sched_config.surface_cache_size,
+                phi_tol=self.sched_config.surface_phi_tol,
+            )
+        else:
+            self.surface_cache = None
 
     def _utility_at(
         self,
@@ -95,6 +105,7 @@ class UtilityAutoscaler:
         jobs: Sequence[SchedJobInfo],
         cluster: Optional[ClusterSpec] = None,
         grow_with: Optional[NodeSpec] = None,
+        surface_cache: Optional[SurfaceCache] = None,
     ) -> float:
         """Best achievable UTILITY on a cluster of ``num_nodes`` nodes.
 
@@ -103,7 +114,13 @@ class UtilityAutoscaler:
         given, the probe resizes *that* cluster (preserving its GPU types
         and per-node shapes, growing with ``grow_with``); otherwise it
         probes a homogeneous reference fleet of ``gpus_per_node``-GPU nodes.
+        ``surface_cache`` (typically the live scheduler's) lets the probe
+        reuse the speedup tables the round already built: probed clusters
+        share the live type set, so probes at sizes whose exploration caps
+        coincide hit the cache instead of rebuilding every job's table.
         """
+        if surface_cache is None:
+            surface_cache = self.surface_cache
         if cluster is not None:
             cluster = cluster.resized(num_nodes, grow_with=grow_with)
         else:
@@ -115,8 +132,12 @@ class UtilityAutoscaler:
             weight_decay=self.sched_config.weight_decay,
             ga=self.config.probe_ga,
             table_points_per_octave=self.sched_config.table_points_per_octave,
+            surface_cache_size=self.sched_config.surface_cache_size,
+            surface_phi_tol=self.sched_config.surface_phi_tol,
         )
-        sched = PolluxSched(cluster, probe_cfg, seed=self._seed)
+        sched = PolluxSched(
+            cluster, probe_cfg, seed=self._seed, surface_cache=surface_cache
+        )
         probe_jobs = [
             SchedJobInfo(
                 job_id=j.job_id,
@@ -138,6 +159,7 @@ class UtilityAutoscaler:
         jobs: Sequence[SchedJobInfo],
         cluster: Optional[ClusterSpec] = None,
         grow_with: Optional[NodeSpec] = None,
+        surface_cache: Optional[SurfaceCache] = None,
     ) -> AutoscaleDecision:
         """Decide the next cluster size.
 
@@ -146,7 +168,9 @@ class UtilityAutoscaler:
         achievable utility is closest to the band's midpoint.  On typed
         fleets pass ``cluster`` (and the ``grow_with`` node spec the caller
         will grow by) so the probes evaluate the real node types instead of
-        the homogeneous reference fleet.
+        the homogeneous reference fleet.  ``surface_cache`` (normally the
+        live scheduler's) deduplicates speedup-table builds across the
+        probes and the scheduling round itself.
         """
         cfg = self.config
         if not jobs:
@@ -162,7 +186,7 @@ class UtilityAutoscaler:
         # utility is <= target, then compare with its neighbor.
         while lo < hi:
             mid = (lo + hi) // 2
-            util = self._utility_at(mid, jobs, cluster, grow_with)
+            util = self._utility_at(mid, jobs, cluster, grow_with, surface_cache)
             probed.append((mid, util))
             if util > target:
                 lo = mid + 1
@@ -171,13 +195,17 @@ class UtilityAutoscaler:
         best_nodes = lo
         best_util = dict(probed).get(best_nodes)
         if best_util is None:
-            best_util = self._utility_at(best_nodes, jobs, cluster, grow_with)
+            best_util = self._utility_at(
+                best_nodes, jobs, cluster, grow_with, surface_cache
+            )
             probed.append((best_nodes, best_util))
         if best_nodes > cfg.min_nodes:
             below = best_nodes - 1
             util_below = dict(probed).get(below)
             if util_below is None:
-                util_below = self._utility_at(below, jobs, cluster, grow_with)
+                util_below = self._utility_at(
+                    below, jobs, cluster, grow_with, surface_cache
+                )
                 probed.append((below, util_below))
             if abs(util_below - target) < abs(best_util - target):
                 best_nodes = below

@@ -24,6 +24,7 @@ import numpy as np
 __all__ = [
     "gradient_noise_scale",
     "efficiency",
+    "efficiency_scalar",
     "GradientStats",
     "EfficiencyModel",
 ]
@@ -69,6 +70,19 @@ def efficiency(grad_noise_scale, init_batch_size: float, batch_size):
     if result.ndim == 0:
         return float(result)
     return result
+
+
+def efficiency_scalar(
+    grad_noise_scale: float, init_batch_size: float, batch_size: float
+) -> float:
+    """Scalar fast path for :func:`efficiency` (Eqn. 7), sans validation.
+
+    Bit-identical to :func:`efficiency` for scalar inputs (the expression is
+    pure IEEE arithmetic); used on per-tick hot paths where the array
+    version's ``asarray`` round-trips dominate.  Callers are responsible for
+    the non-negativity invariants that :func:`efficiency` checks.
+    """
+    return (grad_noise_scale + init_batch_size) / (grad_noise_scale + batch_size)
 
 
 @dataclass

@@ -299,11 +299,10 @@ class GeneticOptimizer:
         totals = pop.sum(axis=-1)
         excess = totals - self.problem.max_gpus[None, :]
         where_p, where_j = np.where(excess > 0)
-        for p, j in zip(where_p, where_j):
+        amounts = excess[where_p, where_j].tolist()
+        for p, j, amount in zip(where_p.tolist(), where_j.tolist(), amounts):
             row = pop[p, j]
-            removal = self.rng.multivariate_hypergeometric(
-                row.tolist(), int(excess[p, j])
-            )
+            removal = self.rng.multivariate_hypergeometric(row, amount)
             pop[p, j] = row - removal
 
     def _repair_capacity(self, pop: np.ndarray) -> None:
@@ -311,11 +310,10 @@ class GeneticOptimizer:
         used = pop.sum(axis=1)  # (P, N)
         excess = used - self.problem.capacities[None, :]
         where_p, where_n = np.where(excess > 0)
-        for p, n in zip(where_p, where_n):
+        amounts = excess[where_p, where_n].tolist()
+        for p, n, amount in zip(where_p.tolist(), where_n.tolist(), amounts):
             col = pop[p, :, n]
-            removal = self.rng.multivariate_hypergeometric(
-                col.tolist(), int(excess[p, n])
-            )
+            removal = self.rng.multivariate_hypergeometric(col, amount)
             pop[p, :, n] = col - removal
 
     def _repair_interference(self, pop: np.ndarray) -> None:
@@ -324,23 +322,45 @@ class GeneticOptimizer:
         Repeatedly finds (member, node) pairs where two or more distributed
         jobs share the node and removes all but one (randomly kept) of them
         from that node, as in Sec. 4.2.1.
+
+        After the first full-population pass, only members that just had
+        violations fixed can still violate (fixes never touch other
+        members), so re-checks are restricted to those rows — the (member,
+        node) pairs produced are identical to a full re-scan (and so is the
+        random stream), at a fraction of the detection cost.
         """
+        member_idx: Optional[np.ndarray] = None  # None = scan all members
         for _ in range(self.problem.num_nodes + 1):
-            dist = (pop > 0).sum(axis=-1) >= 2  # (P, J)
-            present = pop > 0  # (P, J, N)
-            sharing = (present & dist[:, :, None]).sum(axis=1)  # (P, N)
+            sub = pop if member_idx is None else pop[member_idx]
+            present = sub > 0  # (P', J, N)
+            dist = present.sum(axis=-1) >= 2  # (P', J)
+            sharing = (present & dist[:, :, None]).sum(axis=1)  # (P', N)
             where_p, where_n = np.where(sharing >= 2)
             if len(where_p) == 0:
                 return
-            for p, n in zip(where_p, where_n):
-                # Re-check: earlier removals in this pass may have fixed it.
-                row_dist = (pop[p] > 0).sum(axis=-1) >= 2
-                offenders = np.where((pop[p, :, n] > 0) & row_dist)[0]
+            if member_idx is not None:
+                where_p = member_idx[where_p]
+            # Walk violations member by member (np.where yields them
+            # member-major), keeping that member's per-job occupied-node
+            # counts incrementally up to date: zeroing an entry that held
+            # GPUs lowers the job's count by exactly one, so the fresh
+            # "is this job still distributed" re-check the original
+            # formulation recomputed per violation reduces to an O(1)
+            # update with identical results.
+            counts: Optional[np.ndarray] = None
+            cur_p = -1
+            for p, n in zip(where_p.tolist(), where_n.tolist()):
+                if p != cur_p:
+                    cur_p = p
+                    counts = (pop[p] > 0).sum(axis=-1)
+                offenders = np.where((pop[p, :, n] > 0) & (counts >= 2))[0]
                 if len(offenders) < 2:
                     continue
                 keep = offenders[self.rng.integers(0, len(offenders))]
                 drop = offenders[offenders != keep]
                 pop[p, drop, n] = 0
+                counts[drop] -= 1
+            member_idx = np.unique(where_p)
 
     # ------------------------------------------------------------------
     # Main loop

@@ -20,9 +20,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .efficiency import EfficiencyModel
+from .efficiency import EfficiencyModel, efficiency_scalar
 from .goldensection import golden_section_search
-from .throughput import ThroughputModel, ThroughputParams
+from .throughput import ThroughputModel, ThroughputParams, t_iter_scalar
 
 __all__ = ["BatchSizeLimits", "GoodputModel", "batch_size_grid"]
 
@@ -119,6 +119,30 @@ class GoodputModel:
             num_nodes, num_gpus, batch_size, speed
         ) * self.efficiency(batch_size)
 
+    def goodput_scalar(
+        self,
+        num_nodes: int,
+        num_gpus: int,
+        batch_size: float,
+        speed: float = 1.0,
+    ) -> float:
+        """Scalar fast path for :meth:`goodput`, bit-identical to it.
+
+        Avoids the array path's per-call broadcasting overhead; used by the
+        golden-section search (one call per probe) and the simulator's
+        per-tick ground truth.  Equality with the array path is asserted by
+        ``tests/test_perf_paths.py``.
+        """
+        tput = batch_size / t_iter_scalar(
+            self.throughput_model.params, num_nodes, num_gpus, batch_size, speed
+        )
+        eff = efficiency_scalar(
+            self.efficiency_model.grad_noise_scale,
+            self.efficiency_model.init_batch_size,
+            batch_size,
+        )
+        return tput * eff
+
     def optimize_batch_size(
         self,
         num_nodes: int,
@@ -153,7 +177,7 @@ class GoodputModel:
         lo, hi = rng
 
         def objective(m: float) -> float:
-            return float(self.goodput(num_nodes, num_gpus, m, speed))
+            return self.goodput_scalar(num_nodes, num_gpus, m, speed)
 
         return golden_section_search(objective, lo, hi, tol=tol)
 

@@ -25,13 +25,23 @@ from ..cluster.spec import ClusterSpec
 from .agent import AgentReport
 from .genetic import AllocationProblem, GAConfig, GeneticOptimizer, JobGAInfo
 from .speedup import build_speedup_table, build_typed_speedup_table
+from .surfacecache import SurfaceCache
 
 __all__ = ["PolluxSchedConfig", "SchedJobInfo", "job_weight", "PolluxSched"]
 
 
 @dataclass(frozen=True)
 class PolluxSchedConfig:
-    """Operator-facing configuration of PolluxSched (Sec. 5.1 defaults)."""
+    """Operator-facing configuration of PolluxSched (Sec. 5.1 defaults).
+
+    The two ``surface_*`` knobs control the shared
+    :class:`~repro.core.surfacecache.SurfaceCache`:
+    ``surface_cache_size = 0`` disables caching entirely (every round
+    rebuilds every table, the pre-cache behavior); ``surface_phi_tol``
+    quantizes phi in the cache key for opt-in cross-round reuse — at the
+    default 0.0 the cache is keyed on exact values and scheduling decisions
+    are bit-for-bit identical to the uncached path.
+    """
 
     restart_penalty: float = 0.25
     forbid_interference: bool = True
@@ -39,6 +49,8 @@ class PolluxSchedConfig:
     weight_decay: float = 0.5  # lambda in Eqn. 16
     ga: GAConfig = field(default_factory=GAConfig)
     table_points_per_octave: int = 16
+    surface_cache_size: int = 512
+    surface_phi_tol: float = 0.0
 
     def __post_init__(self) -> None:
         if self.restart_penalty < 0:
@@ -47,6 +59,10 @@ class PolluxSchedConfig:
             raise ValueError("gputime_thres must be positive")
         if self.weight_decay < 0:
             raise ValueError("weight_decay must be non-negative")
+        if self.surface_cache_size < 0:
+            raise ValueError("surface_cache_size must be non-negative")
+        if self.surface_phi_tol < 0:
+            raise ValueError("surface_phi_tol must be non-negative")
 
 
 @dataclass
@@ -81,6 +97,7 @@ class PolluxSched:
         cluster: ClusterSpec,
         config: Optional[PolluxSchedConfig] = None,
         seed: int = 0,
+        surface_cache: Optional[SurfaceCache] = None,
     ):
         self.cluster = cluster
         self.config = config if config is not None else PolluxSchedConfig()
@@ -90,6 +107,18 @@ class PolluxSched:
         self.rounds = 0
         #: UTILITY(A) (Eqn. 17) of the last optimized allocation matrix.
         self.last_utility = 0.0
+        #: Shared speedup/batch-size surface cache (None = caching off).  An
+        #: explicitly passed cache (e.g. from the scheduler owning this
+        #: probe instance) wins over the config's own; see surfacecache.py.
+        if surface_cache is not None:
+            self.surface_cache: Optional[SurfaceCache] = surface_cache
+        elif self.config.surface_cache_size > 0:
+            self.surface_cache = SurfaceCache(
+                maxsize=self.config.surface_cache_size,
+                phi_tol=self.config.surface_phi_tol,
+            )
+        else:
+            self.surface_cache = None
 
     # ------------------------------------------------------------------
 
@@ -118,8 +147,16 @@ class PolluxSched:
         return out
 
     def build_problem(self, jobs: Sequence[SchedJobInfo]) -> AllocationProblem:
-        """Construct the GA allocation problem for one scheduling round."""
+        """Construct the GA allocation problem for one scheduling round.
+
+        Speedup tables come from the shared :class:`SurfaceCache` when one
+        is configured, so ``optimize``, ``utility``, and autoscaler probes
+        that see the same reports within a tick build each job's table at
+        most once; with caching disabled every table is rebuilt in place
+        (bit-identical values either way).
+        """
         cfg = self.config
+        cache = self.surface_cache
         total_gpus = self.cluster.total_gpus
         single_type = self.cluster.is_single_type
         type_speeds = self.cluster.type_speeds()
@@ -129,19 +166,35 @@ class PolluxSched:
             if single_type:
                 # Homogeneous fast path: the seed's (K+1, 2) table, at the
                 # cluster's (single) device speed — 1.0 on the reference T4.
-                table = build_speedup_table(
-                    job.report.goodput_model(),
-                    max_gpus=cap,
-                    points_per_octave=cfg.table_points_per_octave,
-                    speed=float(type_speeds[0]),
-                )
+                if cache is not None:
+                    table, _ = cache.get_flat(
+                        job.report,
+                        cap,
+                        cfg.table_points_per_octave,
+                        float(type_speeds[0]),
+                    )
+                else:
+                    table = build_speedup_table(
+                        job.report.goodput_model(),
+                        max_gpus=cap,
+                        points_per_octave=cfg.table_points_per_octave,
+                        speed=float(type_speeds[0]),
+                    )
             else:
-                table = build_typed_speedup_table(
-                    job.report.goodput_model(),
-                    max_gpus=cap,
-                    type_speeds=type_speeds,
-                    points_per_octave=cfg.table_points_per_octave,
-                )
+                if cache is not None:
+                    table, _ = cache.get_typed(
+                        job.report,
+                        cap,
+                        cfg.table_points_per_octave,
+                        type_speeds,
+                    )
+                else:
+                    table = build_typed_speedup_table(
+                        job.report.goodput_model(),
+                        max_gpus=cap,
+                        type_speeds=type_speeds,
+                        points_per_octave=cfg.table_points_per_octave,
+                    )
             weight = job_weight(job.gputime, cfg.gputime_thres, cfg.weight_decay)
             ga_jobs.append(
                 JobGAInfo(

@@ -26,7 +26,7 @@ to the seed's ``(K_max + 1, 2)`` table.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,8 @@ __all__ = [
     "speedup",
     "build_speedup_table",
     "build_typed_speedup_table",
+    "build_surfaces",
+    "build_typed_surfaces",
     "best_batch_size_table",
 ]
 
@@ -158,6 +160,32 @@ def _goodput_surface(
     return _surface_at_speed(model, max_gpus, inputs, speed)
 
 
+def build_surfaces(
+    model: GoodputModel,
+    max_gpus: int,
+    points_per_octave: int = 16,
+    speed: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Speedup table plus argmax batch-size table from one surface pass.
+
+    Returns ``(speedup_table, batch_size_table)``, both of shape
+    ``(max_gpus + 1, 2)``: the speedup table is exactly
+    :func:`build_speedup_table`'s output and the batch-size table exactly
+    :func:`best_batch_size_table`'s — they come from a single goodput
+    surface evaluation, which is what the
+    :class:`~repro.core.surfacecache.SurfaceCache` stores so schedulers and
+    agents share one computation per job per round.
+    """
+    if max_gpus < 1:
+        raise ValueError("max_gpus must be >= 1")
+    surfaces, argmax_m = _goodput_surface(model, max_gpus, points_per_octave, speed)
+    min_gpus = model.limits.min_gpus()
+    denom = surfaces[min_gpus, SINGLE_NODE] if min_gpus <= max_gpus else 0.0
+    if denom <= 0:
+        return np.zeros_like(surfaces), argmax_m
+    return surfaces / denom, argmax_m
+
+
 def build_speedup_table(
     model: GoodputModel,
     max_gpus: int,
@@ -180,15 +208,46 @@ def build_speedup_table(
             compute/communication balance.  Use
             :func:`build_typed_speedup_table` for mixed-type clusters.
     """
+    return build_surfaces(model, max_gpus, points_per_octave, speed)[0]
+
+
+def build_typed_surfaces(
+    model: GoodputModel,
+    max_gpus: int,
+    type_speeds: Sequence[float],
+    points_per_octave: int = 16,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Typed speedup table plus typed argmax batch-size table.
+
+    Returns ``(speedup_table, batch_size_table)``, both of shape
+    ``(max_gpus + 1, 2, num_types)``, from a single per-type surface pass
+    (the speedup table exactly matches :func:`build_typed_speedup_table`).
+    ``batch_size_table[k, flag, t]`` is the goodput-maximizing total batch
+    size for k GPUs of type t.
+    """
     if max_gpus < 1:
         raise ValueError("max_gpus must be >= 1")
-    surfaces, _ = _goodput_surface(model, max_gpus, points_per_octave, speed)
+    speeds = np.asarray(type_speeds, dtype=float)
+    if speeds.ndim != 1 or speeds.size < 1:
+        raise ValueError("type_speeds must be a non-empty 1-D sequence")
+    if np.any(speeds <= 0):
+        raise ValueError("type_speeds must be positive")
+    # The batch-size grid, feasibility mask, and efficiency curve are
+    # speed-independent: compute them once and share across types.
+    inputs = _surface_inputs(model, max_gpus, points_per_octave)
+    per_type = [
+        _surface_at_speed(model, max_gpus, inputs, float(s)) for s in speeds
+    ]
+    surfaces = np.stack([s for s, _ in per_type], axis=-1)  # (K + 1, 2, T)
+    argmax_m = np.stack([a for _, a in per_type], axis=-1)
+    ref_type = int(np.argmin(speeds))
     min_gpus = model.limits.min_gpus()
-    denom_flag = SINGLE_NODE
-    denom = surfaces[min_gpus, denom_flag] if min_gpus <= max_gpus else 0.0
+    denom = (
+        surfaces[min_gpus, SINGLE_NODE, ref_type] if min_gpus <= max_gpus else 0.0
+    )
     if denom <= 0:
-        return np.zeros_like(surfaces)
-    return surfaces / denom
+        return np.zeros_like(surfaces), argmax_m
+    return surfaces / denom, argmax_m
 
 
 def build_typed_speedup_table(
@@ -212,31 +271,7 @@ def build_typed_speedup_table(
             cluster's type order.
         points_per_octave: Density of the batch-size grid.
     """
-    if max_gpus < 1:
-        raise ValueError("max_gpus must be >= 1")
-    speeds = np.asarray(type_speeds, dtype=float)
-    if speeds.ndim != 1 or speeds.size < 1:
-        raise ValueError("type_speeds must be a non-empty 1-D sequence")
-    if np.any(speeds <= 0):
-        raise ValueError("type_speeds must be positive")
-    # The batch-size grid, feasibility mask, and efficiency curve are
-    # speed-independent: compute them once and share across types.
-    inputs = _surface_inputs(model, max_gpus, points_per_octave)
-    surfaces = np.stack(
-        [
-            _surface_at_speed(model, max_gpus, inputs, float(s))[0]
-            for s in speeds
-        ],
-        axis=-1,
-    )  # (max_gpus + 1, 2, T)
-    ref_type = int(np.argmin(speeds))
-    min_gpus = model.limits.min_gpus()
-    denom = (
-        surfaces[min_gpus, SINGLE_NODE, ref_type] if min_gpus <= max_gpus else 0.0
-    )
-    if denom <= 0:
-        return np.zeros_like(surfaces)
-    return surfaces / denom
+    return build_typed_surfaces(model, max_gpus, type_speeds, points_per_octave)[0]
 
 
 def best_batch_size_table(
@@ -244,8 +279,21 @@ def best_batch_size_table(
     max_gpus: int,
     points_per_octave: int = 16,
     speed: float = 1.0,
+    type_speeds: Optional[Sequence[float]] = None,
 ) -> np.ndarray:
-    """argmax_m GOODPUT per (K, placement-flag); shape ``(max_gpus + 1, 2)``."""
+    """argmax_m GOODPUT per (K, placement-flag).
+
+    With ``type_speeds=None`` the table has shape ``(max_gpus + 1, 2)`` at
+    the single device ``speed``.  Passing ``type_speeds`` builds the typed
+    variant of shape ``(max_gpus + 1, 2, num_types)``, one argmax surface
+    per GPU type (``speed`` is then ignored) — the table-driven counterpart
+    of :func:`build_typed_speedup_table` for O(1) batch-size tuning on
+    mixed fleets.
+    """
+    if type_speeds is not None:
+        return build_typed_surfaces(
+            model, max_gpus, type_speeds, points_per_octave
+        )[1]
     if max_gpus < 1:
         raise ValueError("max_gpus must be >= 1")
     _, argmax_m = _goodput_surface(model, max_gpus, points_per_octave, speed)

@@ -1,0 +1,181 @@
+"""Shared cache of per-job speedup/goodput surfaces (perf subsystem).
+
+Pollux's scheduling loop evaluates each job's goodput surface — the
+``max_m GOODPUT(K, placement-flag[, type])`` tables of
+:mod:`repro.core.speedup` — in several places per 60 s round: once when
+``PolluxSched.optimize`` builds the GA problem, once per ``utility()``
+evaluation (the autoscaler's in-band check), and once per cluster-size
+probe of the binary search in :mod:`repro.core.autoscale`.  Within a tick
+these all see the *same* agent reports and (because probe clusters share
+the live cluster's GPU-type set) the same type speeds, so they rebuild
+bit-identical tables three or more times per job.  Gavel (Narayanan et
+al., OSDI 2020) makes the same observation for throughput-ratio tables:
+compute once, look up everywhere.
+
+:class:`SurfaceCache` is that lookup.  It is keyed on
+``(AgentReport.fingerprint(), table shape parameters)`` and stores the
+speedup table *and* the argmax batch-size table from a single surface
+pass, so table-driven batch tuning (``PolluxAgent.tune_batch_size`` with
+``method="table"``) rides along for free.  Because the fingerprint is a
+pure value key, a cache hit returns the identical array object a miss
+would have computed — caching is invisible to scheduling decisions
+(asserted bit-for-bit by ``tests/test_surfacecache.py``).
+
+Cross-round reuse is opt-in: agents re-fit theta_sys only every
+``refit_every`` observations, but phi_t drifts every tick, so exact keys
+miss across rounds.  Constructing the cache with ``phi_tol > 0`` quantizes
+phi into relative buckets (see :meth:`repro.core.agent.AgentReport.
+fingerprint`), trading a bounded goodput-model staleness for table reuse
+across rounds.  This changes decisions (slightly) and is therefore off by
+default; ``PolluxSchedConfig.surface_phi_tol`` is the operator knob.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+import numpy as np
+
+from .speedup import build_surfaces, build_typed_surfaces
+
+if TYPE_CHECKING:  # avoid a runtime cycle: agent.py imports this module
+    from .agent import AgentReport
+
+__all__ = ["SurfaceCache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`SurfaceCache`."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def builds(self) -> int:
+        """Number of surface computations performed (== misses)."""
+        return self.misses
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """(hits, misses, evictions) at this instant."""
+        return (self.hits, self.misses, self.evictions)
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+class SurfaceCache:
+    """LRU cache of ``(speedup_table, batch_size_table)`` pairs.
+
+    Args:
+        maxsize: Maximum number of cached surfaces; least recently used
+            entries are evicted beyond it.  One entry is a few KB (a
+            ``(cap + 1, 2[, T])`` float table pair), so the default
+            comfortably covers hundreds of jobs at several caps each.
+        phi_tol: Relative phi quantization passed through to
+            :meth:`~repro.core.agent.AgentReport.fingerprint`.  0 keys on
+            the exact phi (bit-identical scheduling; within-tick reuse
+            only); > 0 buckets phi for opt-in cross-round reuse.
+
+    Cached arrays are returned with ``writeable=False`` — consumers
+    (``JobGAInfo``, the GA's table gather, batch-size lookups) only read
+    them, and the flag turns any accidental in-place mutation into a hard
+    error instead of silent cross-round corruption.
+    """
+
+    def __init__(self, maxsize: int = 512, phi_tol: float = 0.0):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        if phi_tol < 0:
+            raise ValueError("phi_tol must be non-negative")
+        self.maxsize = int(maxsize)
+        self.phi_tol = float(phi_tol)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+
+    def _get(
+        self, key: tuple, report: "AgentReport", build
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        speedup_table, bsz_table = build(report.goodput_model())
+        speedup_table.flags.writeable = False
+        bsz_table.flags.writeable = False
+        entry = (speedup_table, bsz_table)
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def get_flat(
+        self,
+        report: "AgentReport",
+        max_gpus: int,
+        points_per_octave: int,
+        speed: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Surfaces for a single-type cluster: ``(max_gpus + 1, 2)`` pair.
+
+        Bit-identical to calling :func:`repro.core.speedup.build_surfaces`
+        directly (a hit returns the very arrays a miss computed).
+        """
+        key = (
+            "flat",
+            report.fingerprint(self.phi_tol),
+            int(max_gpus),
+            int(points_per_octave),
+            float(speed),
+        )
+        return self._get(
+            key,
+            report,
+            lambda model: build_surfaces(
+                model, max_gpus, points_per_octave=points_per_octave, speed=speed
+            ),
+        )
+
+    def get_typed(
+        self,
+        report: "AgentReport",
+        max_gpus: int,
+        points_per_octave: int,
+        type_speeds: Sequence[float],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Surfaces for a typed cluster: ``(max_gpus + 1, 2, T)`` pair."""
+        key = (
+            "typed",
+            report.fingerprint(self.phi_tol),
+            int(max_gpus),
+            int(points_per_octave),
+            tuple(float(s) for s in type_speeds),
+        )
+        return self._get(
+            key,
+            report,
+            lambda model: build_typed_surfaces(
+                model, max_gpus, type_speeds, points_per_octave=points_per_octave
+            ),
+        )

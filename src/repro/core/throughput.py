@@ -41,6 +41,8 @@ __all__ = [
     "ExplorationState",
     "fit_throughput_params",
     "project_throughput_params",
+    "t_iter_scalar",
+    "throughput_scalar",
     "GAMMA_MIN",
     "GAMMA_MAX",
 ]
@@ -233,43 +235,281 @@ class ThroughputModel:
         return batch_size / self.t_iter(num_nodes, num_gpus, batch_size, speed)
 
 
-def _predict_t_iter_raw(
-    vec: np.ndarray,
-    nodes: np.ndarray,
-    gpus: np.ndarray,
-    batch: np.ndarray,
-    speeds: np.ndarray,
-) -> np.ndarray:
-    """Eqn. 11 evaluated directly on a raw 7-vector (hot path for fitting)."""
-    ag, bg, asl, bsl, asn, bsn = np.abs(vec[:6])
-    gamma = float(np.clip(vec[6], GAMMA_MIN, GAMMA_MAX))
-    t_grad = (ag + bg * batch / gpus) / speeds
-    extra = np.maximum(gpus - 2.0, 0.0)
-    t_sync = np.where(nodes <= 1, asl + bsl * extra, asn + bsn * extra)
-    t_sync = np.where(gpus <= 1, 0.0, t_sync)
+@dataclass
+class _FitData:
+    """Precomputed observation arrays shared by every RMSLE evaluation.
+
+    ``single_node``/``single_gpu`` are the boolean masks that Eqn. 10
+    branches on; hoisting them (and the retrogression term ``extra``) out
+    of the objective keeps per-evaluation work to the parameter-dependent
+    arithmetic only, with the exact same floating-point operation order as
+    the original formulation.
+    """
+
+    nodes: np.ndarray
+    gpus: np.ndarray
+    batch: np.ndarray
+    speeds: np.ndarray
+    t_obs_log: np.ndarray
+    extra: np.ndarray
+    single_node: np.ndarray
+    single_gpu: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        nodes: np.ndarray,
+        gpus: np.ndarray,
+        batch: np.ndarray,
+        speeds: np.ndarray,
+        t_obs_log: np.ndarray,
+    ) -> "_FitData":
+        return cls(
+            nodes=nodes,
+            gpus=gpus,
+            batch=batch,
+            speeds=speeds,
+            t_obs_log=t_obs_log,
+            extra=np.maximum(gpus - 2.0, 0.0),
+            single_node=nodes <= 1,
+            single_gpu=gpus <= 1,
+        )
+
+
+def t_iter_scalar(
+    params: ThroughputParams,
+    num_nodes: int,
+    num_gpus: int,
+    batch_size: float,
+    speed: float = 1.0,
+) -> float:
+    """Scalar fast path for :meth:`ThroughputModel.t_iter` (Eqn. 11).
+
+    Bit-identical to the array implementation for scalar inputs: the
+    arithmetic (+, -, *, /, max) is IEEE-exact in either form, and the two
+    ``pow`` evaluations go through the same numpy ufunc the array loop uses
+    (``float ** float`` and ``math.pow`` round differently in ~5% of cases,
+    so they must not be substituted here).  Used on hot per-job paths —
+    golden-section batch-size search and the simulator's ground-truth
+    goodput — where the array version's broadcasting overhead dominates.
+    """
+    t_grad = (params.alpha_grad + params.beta_grad * batch_size / num_gpus) / speed
+    if num_gpus <= 1:
+        t_sync = 0.0
+    else:
+        extra = max(num_gpus - 2.0, 0.0)
+        if num_nodes <= 1:
+            t_sync = params.alpha_sync_local + params.beta_sync_local * extra
+        else:
+            t_sync = params.alpha_sync_node + params.beta_sync_node * extra
+    if t_grad >= t_sync:
+        hi, lo = t_grad, t_sync
+    else:
+        hi, lo = t_sync, t_grad
+    ratio = lo / hi if hi > 0 else 0.0
+    gamma = params.gamma
+    return float(
+        hi * np.power(1.0 + np.power(ratio, gamma), 1.0 / gamma)
+    )
+
+
+def throughput_scalar(
+    params: ThroughputParams,
+    num_nodes: int,
+    num_gpus: int,
+    batch_size: float,
+    speed: float = 1.0,
+) -> float:
+    """Scalar fast path for :meth:`ThroughputModel.throughput` (Eqn. 8)."""
+    return batch_size / t_iter_scalar(params, num_nodes, num_gpus, batch_size, speed)
+
+
+def _rmsle_full(full: np.ndarray, data: _FitData) -> float:
+    """RMSLE of one complete 7-vector against the observations.
+
+    Identical arithmetic (same operations, same order) to the original
+    per-call formulation; the observation-dependent pieces come
+    precomputed via ``data``.
+    """
+    av = np.abs(full[:6])
+    ag, bg, asl, bsl, asn, bsn = av
+    g = full[6]
+    gamma = GAMMA_MAX if g > GAMMA_MAX else (GAMMA_MIN if g < GAMMA_MIN else float(g))
+    t_grad = (ag + bg * data.batch / data.gpus) / data.speeds
+    t_sync = np.where(data.single_node, asl + bsl * data.extra, asn + bsn * data.extra)
+    t_sync = np.where(data.single_gpu, 0.0, t_sync)
     hi = np.maximum(t_grad, t_sync)
     lo = np.minimum(t_grad, t_sync)
     safe_hi = np.where(hi > 0, hi, 1.0)
     ratio = np.where(hi > 0, lo / safe_hi, 0.0)
-    return hi * np.power(1.0 + np.power(ratio, gamma), 1.0 / gamma)
+    pred = hi * np.power(1.0 + np.power(ratio, gamma), 1.0 / gamma)
+    err = np.log(np.maximum(pred, 1e-12)) - data.t_obs_log
+    # add.reduce is np.mean's own pairwise summation without the dispatch
+    # overhead; dividing by the count afterwards is the same operation
+    # np.mean performs, so the value is bit-identical.
+    return float(np.sqrt(np.add.reduce(err * err) / err.size))
 
 
-def _rmsle(
-    vec: np.ndarray,
-    free_idx: np.ndarray,
-    base: np.ndarray,
-    nodes: np.ndarray,
-    gpus: np.ndarray,
-    batch: np.ndarray,
-    speeds: np.ndarray,
-    t_obs_log: np.ndarray,
-) -> float:
-    """RMSLE between predicted and observed iteration times."""
-    full = base.copy()
-    full[free_idx] = vec
-    pred = _predict_t_iter_raw(full, nodes, gpus, batch, speeds)
-    err = np.log(np.maximum(pred, 1e-12)) - t_obs_log
-    return float(np.sqrt(np.mean(err * err)))
+def _rmsle_batch(full: np.ndarray, data: _FitData, gamma: float) -> np.ndarray:
+    """RMSLE for a ``(B, 7)`` batch of vectors sharing one scalar gamma.
+
+    Evaluates every row in one set of broadcast array operations.  Numpy's
+    elementwise ufuncs and axis-wise pairwise mean are bit-identical between
+    a 1-D row and the rows of a contiguous 2-D batch (verified by
+    ``tests/test_perf_paths.py``), so each entry of the result equals
+    :func:`_rmsle_full` of the corresponding row exactly — which is what
+    makes the batched finite-difference jacobian below a drop-in for
+    scipy's sequential one.  The one trap is gamma: ``np.power`` with an
+    *array* exponent takes a different kernel than with a scalar exponent
+    and rounds differently by 1 ulp on rare inputs, so this function
+    requires all rows to share gamma (the jacobian's gamma-perturbed row is
+    evaluated separately) and ``full[:, 6]`` is ignored.
+    """
+    av = np.abs(full[:, :6])
+    ag = av[:, 0:1]
+    bg = av[:, 1:2]
+    asl = av[:, 2:3]
+    bsl = av[:, 3:4]
+    asn = av[:, 4:5]
+    bsn = av[:, 5:6]
+    g = (
+        GAMMA_MAX
+        if gamma > GAMMA_MAX
+        else (GAMMA_MIN if gamma < GAMMA_MIN else float(gamma))
+    )
+    batch = data.batch[None, :]
+    gpus = data.gpus[None, :]
+    speeds = data.speeds[None, :]
+    extra = data.extra[None, :]
+    t_grad = (ag + bg * batch / gpus) / speeds
+    t_sync = np.where(data.single_node[None, :], asl + bsl * extra, asn + bsn * extra)
+    t_sync = np.where(data.single_gpu[None, :], 0.0, t_sync)
+    hi = np.maximum(t_grad, t_sync)
+    lo = np.minimum(t_grad, t_sync)
+    safe_hi = np.where(hi > 0, hi, 1.0)
+    ratio = np.where(hi > 0, lo / safe_hi, 0.0)
+    pred = hi * np.power(1.0 + np.power(ratio, g), 1.0 / g)
+    err = np.log(np.maximum(pred, 1e-12)) - data.t_obs_log[None, :]
+    sq = err * err
+    return np.sqrt(np.add.reduce(sq, axis=1) / sq.shape[1])
+
+
+#: Index of gamma in the canonical parameter vector.
+_GAMMA_IDX = _PARAM_NAMES.index("gamma")
+
+#: Absolute finite-difference step L-BFGS-B passes to its internal 2-point
+#: differences (the legacy ``eps`` option), and the relative fallback step
+#: (sqrt(machine eps)) scipy substitutes where the absolute step vanishes.
+_FD_ABS_STEP = 1e-8
+_FD_RSTEP = float(np.sqrt(np.finfo(np.float64).eps))
+
+
+class _FitObjective:
+    """RMSLE objective with a batched finite-difference jacobian.
+
+    The fitting hot path.  ``fun`` evaluates the loss for the free
+    parameters; ``jac`` reproduces *exactly* the 2-point forward-difference
+    gradient scipy's L-BFGS-B computes internally when ``jac=None`` — same
+    step-size rule (the solver's absolute ``eps=1e-8`` with scipy's
+    relative-step fallback), same one-sided bounds adjustment, same
+    ``(f(x + h e_i) - f(x)) / ((x_i + h_i) - x_i)``
+    quotient — but evaluates all perturbed points in a single broadcast
+    batch instead of one sequential call per free parameter.  The resulting
+    optimizer trajectory is bit-for-bit identical to ``jac=None`` (asserted
+    by ``tests/test_perf_paths.py``) at roughly a 5x lower cost per
+    gradient.
+    """
+
+    def __init__(
+        self,
+        free_idx: np.ndarray,
+        base: np.ndarray,
+        data: _FitData,
+        lb: np.ndarray,
+        ub: np.ndarray,
+    ):
+        self.free_idx = free_idx
+        self.base = base
+        self.data = data
+        self.lb = lb
+        self.ub = ub
+        self._lb_list = lb.tolist()
+        self._ub_list = ub.tolist()
+        self._gamma_row = int(np.nonzero(free_idx == _GAMMA_IDX)[0][0])
+        self._last_x: Optional[bytes] = None
+        self._last_f = 0.0
+        # Reusable jacobian buffers (jac is called tens of thousands of
+        # times per simulation; every row is fully overwritten each call).
+        n = free_idx.size
+        self._row_idx = np.arange(n)
+        self._full_buf = np.empty((n, base.size), dtype=float)
+        self._fun_buf = np.empty(base.size, dtype=float)
+
+    def fun(self, vec: np.ndarray) -> float:
+        full = self._fun_buf
+        full[:] = self.base
+        full[self.free_idx] = vec
+        f = _rmsle_full(full, self.data)
+        # L-BFGS-B always evaluates the gradient at the point it just
+        # evaluated the function at; remember f so jac() can skip the
+        # duplicate evaluation.
+        self._last_x = vec.tobytes()
+        self._last_f = f
+        return f
+
+    def jac(self, vec: np.ndarray) -> np.ndarray:
+        if self._last_x == vec.tobytes():
+            f0 = self._last_f
+        else:
+            f0 = self.fun(vec)
+        # Step selection, replicated from scipy _numdiff in exact (python
+        # float) arithmetic: L-BFGS-B passes its legacy absolute step
+        # eps=1e-8, falling back to the relative rule
+        # sqrt(eps) * sign(+1 at 0) * max(1, |x|) wherever the absolute
+        # step is indistinguishable from x, then adjusts '1-sided' steps
+        # that would leave the bounds.
+        n = vec.size
+        xs = vec.tolist()
+        hs = [0.0] * n
+        dxs = [0.0] * n
+        for i in range(n):
+            x = xs[i]
+            h = _FD_ABS_STEP
+            if (x + h) - x == 0.0:
+                h = _FD_RSTEP * (1.0 if x >= 0 else -1.0) * max(1.0, abs(x))
+            lb, ub = self._lb_list[i], self._ub_list[i]
+            lower_dist = x - lb
+            upper_dist = ub - x
+            x1 = x + h
+            fitting = abs(h) <= max(lower_dist, upper_dist)
+            if (x1 < lb or x1 > ub) and fitting:
+                h = -h
+            if not fitting:
+                h = upper_dist if upper_dist >= lower_dist else -lower_dist
+            hs[i] = h
+            dxs[i] = (x + h) - x
+        stepped = np.array([xs[i] + hs[i] for i in range(n)])
+        dx = np.array(dxs)
+        full = self._full_buf
+        full[:] = self.base
+        full[:, self.free_idx] = vec
+        full[self._row_idx, self.free_idx] = stepped
+        # All rows except the gamma-perturbed one share the unperturbed
+        # gamma, which lets the batch use the scalar-exponent pow kernel
+        # (see _rmsle_batch); the gamma row (whose batch entry would be
+        # wrong anyway) is excluded and goes through the 1-D path.
+        gamma_row = self._gamma_row
+        fs = np.empty(n)
+        if gamma_row > 0:
+            fs[:gamma_row] = _rmsle_batch(
+                full[:gamma_row], self.data, xs[gamma_row]
+            )
+        fs[gamma_row] = _rmsle_full(full[gamma_row], self.data)
+        if gamma_row + 1 < n:
+            fs[gamma_row + 1 :] = _rmsle_batch(
+                full[gamma_row + 1 :], self.data, xs[gamma_row]
+            )
+        return (fs - f0) / dx
 
 
 def project_throughput_params(
@@ -296,6 +536,7 @@ def fit_throughput_params(
     initial: Optional[ThroughputParams] = None,
     num_restarts: int = 4,
     seed: int = 0,
+    use_fd_jac: bool = True,
 ) -> ThroughputParams:
     """Fit theta_sys to observed profile entries (Sec. 4.1, online fitting).
 
@@ -311,6 +552,12 @@ def fit_throughput_params(
         initial: Optional warm-start parameters (e.g. the previous fit).
         num_restarts: Number of random restarts in addition to the warm start.
         seed: Seed for the random restarts.
+        use_fd_jac: Use the batched finite-difference jacobian
+            (:class:`_FitObjective`), which reproduces scipy's internal
+            2-point differences bit-for-bit at a fraction of the cost.
+            ``False`` falls back to scipy's sequential differences; both
+            settings return identical parameters (tested), so this is only
+            an escape hatch for verifying that equivalence.
 
     Returns:
         The fitted :class:`ThroughputParams`.
@@ -374,17 +621,19 @@ def fit_throughput_params(
 
     best_vec: Optional[np.ndarray] = None
     best_loss = np.inf
-    args = (free_idx, base, nodes, gpus, batch, speeds, np.log(t_obs))
+    lb = np.array([b[0] for b in bounds], dtype=float)
+    ub = np.array(
+        [b[1] if b[1] is not None else np.inf for b in bounds], dtype=float
+    )
+    data = _FitData.build(nodes, gpus, batch, speeds, np.log(t_obs))
+    objective = _FitObjective(free_idx, base, data, lb, ub)
+    jac = objective.jac if use_fd_jac else None
     for start in starts:
-        clipped = np.clip(
-            start,
-            [b[0] for b in bounds],
-            [b[1] if b[1] is not None else np.inf for b in bounds],
-        )
+        clipped = np.clip(start, lb, ub)
         result = minimize(
-            _rmsle,
+            objective.fun,
             clipped,
-            args=args,
+            jac=jac,
             method="L-BFGS-B",
             bounds=bounds,
             options={"maxiter": 60},

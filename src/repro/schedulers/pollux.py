@@ -65,8 +65,21 @@ class PolluxScheduler:
         """UTILITY(A) of the currently applied allocations (Eqn. 17)."""
         if not jobs:
             return 0.0
-        infos = _job_infos(jobs)
         matrix = np.stack([job.allocation for job in jobs])
+        return self.utility_of(_job_infos(jobs), matrix)
+
+    def utility_of(
+        self, infos: Sequence[SchedJobInfo], matrix: np.ndarray
+    ) -> float:
+        """UTILITY(A) for pre-built job snapshots (avoids re-snapshotting).
+
+        Same computation as :meth:`current_utility`; callers that already
+        hold ``SchedJobInfo`` snapshots (e.g. the autoscaler hook, which
+        needs them again for its probes) should use this to avoid building
+        every job's report twice per tick.
+        """
+        if not infos:
+            return 0.0
         return self.sched.utility(infos, matrix)
 
 
@@ -106,12 +119,19 @@ class PolluxAutoscalerHook:
         del now
         if not jobs:
             return self.autoscaler.config.min_nodes
-        utility = scheduler.current_utility(jobs)
+        # One set of job snapshots serves both the in-band utility check and
+        # the probes, and the probes share the live scheduler's surface
+        # cache — so each job's speedup table is built at most once per tick
+        # across current_utility + probes + the scheduling round itself.
+        infos = _job_infos(jobs)
+        matrix = np.stack([job.allocation for job in jobs])
+        utility = scheduler.utility_of(infos, matrix)
         decision = self.autoscaler.decide(
             cluster.num_nodes,
             utility,
-            _job_infos(jobs),
+            infos,
             cluster=cluster,
             grow_with=self.grow_node_spec,
+            surface_cache=scheduler.sched.surface_cache,
         )
         return decision.num_nodes

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..core.agent import PolluxAgent
-from ..core.efficiency import efficiency as efficiency_fn
+from ..core.efficiency import efficiency_scalar
+from ..core.throughput import t_iter_scalar
 from ..workload.trace import JobSpec
 
 __all__ = ["JobPhase", "SimJob"]
@@ -44,16 +45,22 @@ class SimJob:
         self.model = spec.model
         self.progress = 0.0
         self.target = spec.model.target_samples
-        self.allocation = np.zeros(num_nodes, dtype=np.int64)
+        # Derived allocation state (GPU count, occupied nodes, speed) is
+        # recomputed lazily and cached: the simulator reads it many times
+        # per tick while the allocation itself only changes on scheduling
+        # events, so `allocation`/`node_speeds` are properties whose setters
+        # invalidate the cache.
+        self._derived: Optional[Tuple[int, int, float]] = None
+        self._allocation = np.zeros(num_nodes, dtype=np.int64)
         # Per-node relative compute speed (1.0 = the reference T4); the
         # simulator refreshes this on cluster resizes.
         if node_speeds is None:
-            self.node_speeds = np.ones(num_nodes, dtype=float)
+            self._node_speeds = np.ones(num_nodes, dtype=float)
         else:
-            self.node_speeds = np.asarray(node_speeds, dtype=float)
-            if self.node_speeds.shape != (num_nodes,):
+            self._node_speeds = np.asarray(node_speeds, dtype=float)
+            if self._node_speeds.shape != (num_nodes,):
                 raise ValueError(
-                    f"node_speeds has shape {self.node_speeds.shape}, "
+                    f"node_speeds has shape {self._node_speeds.shape}, "
                     f"expected ({num_nodes},)"
                 )
         self.batch_size = float(spec.model.init_batch_size)
@@ -79,19 +86,55 @@ class SimJob:
         return self.spec.name
 
     @property
+    def allocation(self) -> np.ndarray:
+        """Per-node GPU allocation vector.
+
+        Assign a new vector to change it (do not mutate in place — the
+        cached derived state would go stale).
+        """
+        return self._allocation
+
+    @allocation.setter
+    def allocation(self, value: np.ndarray) -> None:
+        self._allocation = np.asarray(value, dtype=np.int64)
+        self._derived = None
+
+    @property
+    def node_speeds(self) -> np.ndarray:
+        """Per-node relative compute speed (refreshed on cluster resizes)."""
+        return self._node_speeds
+
+    @node_speeds.setter
+    def node_speeds(self, value: np.ndarray) -> None:
+        self._node_speeds = np.asarray(value, dtype=float)
+        self._derived = None
+
+    def _derived_state(self) -> Tuple[int, int, float]:
+        """Cached (num_gpus, num_nodes_occupied, current_speed)."""
+        if self._derived is None:
+            occupied = self._allocation > 0
+            num_nodes = int(occupied.sum())
+            if num_nodes == 0:
+                speed = 1.0
+            else:
+                speed = float(self._node_speeds[occupied].min())
+            self._derived = (int(self._allocation.sum()), num_nodes, speed)
+        return self._derived
+
+    @property
     def num_gpus(self) -> int:
         """Total GPUs currently held."""
-        return int(self.allocation.sum())
+        return self._derived_state()[0]
 
     @property
     def num_nodes_occupied(self) -> int:
         """Physical nodes currently hosting at least one replica."""
-        return int((self.allocation > 0).sum())
+        return self._derived_state()[1]
 
     @property
     def is_distributed(self) -> bool:
         """Whether the job spans two or more nodes (interference-relevant)."""
-        return self.num_nodes_occupied >= 2
+        return self._derived_state()[1] >= 2
 
     @property
     def current_speed(self) -> float:
@@ -101,10 +144,7 @@ class SimJob:
         placement straddling GPU types runs at the slowest occupied node's
         speed.  1.0 when the job holds no GPUs.
         """
-        occupied = self.allocation > 0
-        if not occupied.any():
-            return 1.0
-        return float(self.node_speeds[occupied].min())
+        return self._derived_state()[2]
 
     @property
     def complete(self) -> bool:
@@ -130,13 +170,13 @@ class SimJob:
 
     def phi_true(self) -> float:
         """Ground-truth gradient noise scale at the current progress."""
-        return float(self.model.gns.phi(self.progress_fraction))
+        return self.model.gns.phi_scalar(self.progress_fraction)
 
     def efficiency_true(self, batch_size: Optional[float] = None) -> float:
         """Ground-truth EFFICIENCY_t(m) at the current progress."""
         m = self.batch_size if batch_size is None else batch_size
-        return float(
-            efficiency_fn(self.phi_true(), float(self.model.init_batch_size), m)
+        return efficiency_scalar(
+            self.phi_true(), float(self.model.init_batch_size), m
         )
 
     def throughput_true(self, slowdown: float = 0.0) -> float:
@@ -146,15 +186,11 @@ class SimJob:
             slowdown: Fractional slowdown from network interference in
                 [0, 1) (Sec. 5.3.2), applied multiplicatively.
         """
-        if self.num_gpus == 0:
+        num_gpus, num_nodes, speed = self._derived_state()
+        if num_gpus == 0:
             return 0.0
-        tput = float(
-            self.model.throughput_true.throughput(
-                self.num_nodes_occupied,
-                self.num_gpus,
-                self.batch_size,
-                self.current_speed,
-            )
+        tput = self.batch_size / t_iter_scalar(
+            self.model.theta_true, num_nodes, num_gpus, self.batch_size, speed
         )
         return tput * (1.0 - slowdown)
 
@@ -164,15 +200,11 @@ class SimJob:
 
     def t_iter_true(self, slowdown: float = 0.0) -> float:
         """Ground-truth time per iteration for the current configuration."""
-        if self.num_gpus == 0:
+        num_gpus, num_nodes, speed = self._derived_state()
+        if num_gpus == 0:
             raise RuntimeError("job holds no GPUs")
-        t = float(
-            self.model.throughput_true.t_iter(
-                self.num_nodes_occupied,
-                self.num_gpus,
-                self.batch_size,
-                self.current_speed,
-            )
+        t = t_iter_scalar(
+            self.model.theta_true, num_nodes, num_gpus, self.batch_size, speed
         )
         if slowdown > 0:
             t = t / (1.0 - slowdown)

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..cluster.spec import ClusterSpec, NodeSpec
 from ..workload.trace import JobSpec
-from .job import JobPhase, SimJob
+from .job import SimJob
 from .metrics import JobRecord, SimResult, TimelineSample
 
 __all__ = ["SimConfig", "Scheduler", "ClusterAutoscaler", "Simulator"]
@@ -81,7 +81,15 @@ class ClusterAutoscaler(Protocol):
 
 @dataclass(frozen=True)
 class SimConfig:
-    """Simulator parameters (defaults follow Sec. 5.1)."""
+    """Simulator parameters (defaults follow Sec. 5.1).
+
+    ``batch_tuning`` selects how Pollux jobs re-tune their batch size each
+    agent interval: ``"search"`` (default) is the paper's golden-section
+    maximization of Eqn. 13, ``"table"`` an O(1) lookup from the agent's
+    memoized argmax batch-size table (same goodput to within the geometric
+    grid's resolution, but the chosen batch size can differ by up to one
+    grid step — so table mode is opt-in, not the bit-identical default).
+    """
 
     tick_seconds: float = 30.0
     scheduling_interval: float = 60.0
@@ -92,6 +100,7 @@ class SimConfig:
     profile_noise: float = 0.03
     gns_noise: float = 0.10
     seed: int = 0
+    batch_tuning: str = "search"
 
     def __post_init__(self) -> None:
         if self.tick_seconds <= 0:
@@ -102,6 +111,11 @@ class SimConfig:
             raise ValueError("interference_slowdown must be in [0, 1)")
         if self.max_hours <= 0:
             raise ValueError("max_hours must be positive")
+        if self.batch_tuning not in ("search", "table"):
+            raise ValueError(
+                f"batch_tuning must be 'search' or 'table', got "
+                f"{self.batch_tuning!r}"
+            )
 
 
 class Simulator:
@@ -139,6 +153,19 @@ class Simulator:
         self._next_schedule = 0.0
         self._next_agent = 0.0
         self._next_autoscale = 0.0
+        # Submission-time-ordered bookkeeping for run(): `self.jobs` is
+        # sorted by (submission_time, name), so admission is a pointer walk
+        # instead of a full rescan each tick, and `_active` drops jobs as
+        # they complete.  active_jobs() remains the stateless scan for
+        # external callers driving the simulator manually.
+        self._active: List[SimJob] = []
+        self._next_submit_idx = 0
+        # Lazily rebuilt (J_active, N) allocation matrix; `_alloc_version`
+        # bumps on any event that can change it (scheduling, resize,
+        # completion, admission) and `_alloc_cache` pairs a version with
+        # the matrix built at that version.
+        self._alloc_version = 0
+        self._alloc_cache: Optional[tuple] = None
         self._refresh_type_cache()
 
     def _refresh_type_cache(self) -> None:
@@ -146,6 +173,11 @@ class Simulator:
         self._type_ids = self.cluster.node_type_ids()
         self._type_names = tuple(t.name for t in self.cluster.gpu_types)
         self._type_caps = tuple(int(c) for c in self.cluster.type_capacities())
+        #: (T, N) 0/1 membership matrix for vectorized per-type GPU sums.
+        self._type_masks = (
+            self._type_ids[None, :]
+            == np.arange(len(self._type_names))[:, None]
+        ).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -159,24 +191,50 @@ class Simulator:
             if j.submission_time <= self.now and not j.complete
         ]
 
-    def _interference_slowdowns(self, jobs: Sequence[SimJob]) -> Dict[str, float]:
-        """Per-job slowdown from distributed jobs sharing nodes (Sec. 5.3.2)."""
-        slowdown = self.config.interference_slowdown
-        result = {job.name: 0.0 for job in jobs}
-        if slowdown <= 0.0:
-            return result
-        distributed = [j for j in jobs if j.is_distributed and j.num_gpus > 0]
-        if len(distributed) < 2:
-            return result
-        per_node: Dict[int, List[SimJob]] = {}
-        for job in distributed:
-            for node in np.nonzero(job.allocation)[0]:
-                per_node.setdefault(int(node), []).append(job)
-        for node_jobs in per_node.values():
-            if len(node_jobs) >= 2:
-                for job in node_jobs:
-                    result[job.name] = slowdown
-        return result
+    def _admit_submitted(self) -> None:
+        """Move newly submitted jobs into the active list (in order)."""
+        jobs = self.jobs
+        idx = self._next_submit_idx
+        while idx < len(jobs) and jobs[idx].submission_time <= self.now:
+            self._active.append(jobs[idx])
+            idx += 1
+            self._alloc_version += 1
+        self._next_submit_idx = idx
+
+    def _alloc_matrix(self, jobs: Sequence[SimJob]) -> np.ndarray:
+        """The active jobs' allocations as one (J, N) int matrix.
+
+        Rebuilt only when `_alloc_version` changed since the cached build;
+        between scheduling events the same matrix serves every tick's
+        cluster-level accounting (node usage, per-type usage, interference
+        detection) as single numpy reductions.
+        """
+        cached = self._alloc_cache
+        if cached is not None and cached[0] == self._alloc_version:
+            return cached[1]
+        if jobs:
+            matrix = np.stack([job.allocation for job in jobs])
+        else:
+            matrix = np.zeros((0, self.cluster.num_nodes), dtype=np.int64)
+        self._alloc_cache = (self._alloc_version, matrix)
+        return matrix
+
+    def _interference_mask(self, matrix: np.ndarray) -> Optional[np.ndarray]:
+        """Boolean (J,) mask of jobs slowed by interference, or None.
+
+        A distributed job is slowed when it shares a node with another
+        distributed job (Sec. 5.3.2); computed as array reductions over the
+        allocation matrix.
+        """
+        occupied = matrix > 0
+        distributed = occupied.sum(axis=1) >= 2
+        if int(distributed.sum()) < 2:
+            return None
+        sharing = (occupied & distributed[:, None]).sum(axis=0) >= 2  # (N,)
+        if not sharing.any():
+            return None
+        affected = distributed & occupied[:, sharing].any(axis=1)
+        return affected
 
     def _apply_allocations(
         self, allocations: Dict[str, np.ndarray], jobs: Sequence[SimJob]
@@ -185,6 +243,8 @@ class Simulator:
             alloc = allocations.get(job.name)
             if alloc is not None:
                 job.apply_allocation(alloc, self.now, self.config.restart_delay)
+        if allocations:
+            self._alloc_version += 1
 
     def _resize_cluster(
         self, num_nodes: int, grow_with: Optional["NodeSpec"] = None
@@ -201,6 +261,7 @@ class Simulator:
         keep = min(self.cluster.num_nodes, num_nodes)
         self.cluster = self.cluster.resized(num_nodes, grow_with=grow_with)
         self._refresh_type_cache()
+        self._alloc_version += 1
         node_speeds = self.cluster.node_speeds()
         for job in self.jobs:
             old_alloc = job.allocation
@@ -215,12 +276,16 @@ class Simulator:
 
     def _tune_batch_sizes(self, jobs: Sequence[SimJob]) -> None:
         """Let each running Pollux job's agent re-tune its batch size."""
+        method = self.config.batch_tuning
         for job in jobs:
             if job.num_gpus == 0:
                 continue
             try:
                 batch_size, _ = job.agent.tune_batch_size(
-                    job.num_nodes_occupied, job.num_gpus, job.current_speed
+                    job.num_nodes_occupied,
+                    job.num_gpus,
+                    job.current_speed,
+                    method=method,
                 )
             except ValueError:
                 continue
@@ -267,6 +332,7 @@ class Simulator:
             job.progress = job.target
             job.finish_time = run_start + finish_offset
             job.allocation = np.zeros_like(job.allocation)
+            self._alloc_version += 1
         else:
             job.progress = new_progress
 
@@ -275,23 +341,31 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def run(self) -> SimResult:
-        """Run to completion (or the max-hours safety cap)."""
+        """Run to completion (or the max-hours safety cap).
+
+        The tick keeps active jobs in a submission-time-ordered list that
+        admits by pointer and drops jobs as they complete (no full-workload
+        rescans), and computes all cluster-level accounting — node usage,
+        per-type usage, interference detection — as numpy reductions over
+        one ``(J, N)`` allocation matrix that is rebuilt only when an
+        allocation actually changed.
+        """
         cfg = self.config
         result = SimResult(scheduler_name=self.scheduler.name)
         max_time = cfg.max_hours * 3600.0
+        interference_on = cfg.interference_slowdown > 0.0
+        self._admit_submitted()
 
         while self.now < max_time:
-            active = self.active_jobs()
-            if not active and all(
-                j.complete or j.submission_time > self.now for j in self.jobs
-            ):
-                pending_later = [
-                    j for j in self.jobs if j.submission_time > self.now
-                ]
-                if not pending_later:
+            if not self._active:
+                if self._next_submit_idx >= len(self.jobs):
                     break
-                # Fast-forward to the next submission.
-                next_submit = min(j.submission_time for j in pending_later)
+                # Fast-forward to the next submission, advancing every
+                # periodic timer past the idle gap (the autoscaler timer
+                # included — leaving it in the past would be inconsistent
+                # with the other two, although either way it fires at the
+                # first post-idle tick).
+                next_submit = self.jobs[self._next_submit_idx].submission_time
                 skip = (next_submit - self.now) // cfg.tick_seconds
                 if skip >= 1:
                     idle = skip * cfg.tick_seconds
@@ -299,7 +373,9 @@ class Simulator:
                     self.now += idle
                     self._next_schedule = max(self._next_schedule, self.now)
                     self._next_agent = max(self._next_agent, self.now)
-                    active = self.active_jobs()
+                    self._next_autoscale = max(self._next_autoscale, self.now)
+                    self._admit_submitted()
+            active = self._active
 
             if self.autoscaler is not None and self.now >= self._next_autoscale:
                 desired = self.autoscaler.decide(
@@ -325,31 +401,47 @@ class Simulator:
                     self._tune_batch_sizes(active)
                 self._next_agent = self.now + cfg.agent_interval
 
-            slowdowns = self._interference_slowdowns(active)
-            for job in active:
-                slowdown = slowdowns.get(job.name, 0.0)
+            matrix = self._alloc_matrix(active)
+            affected = (
+                self._interference_mask(matrix) if interference_on else None
+            )
+            needs_agent = self.scheduler.needs_agent
+            for idx, job in enumerate(active):
+                slowdown = (
+                    cfg.interference_slowdown
+                    if affected is not None and affected[idx]
+                    else 0.0
+                )
                 if (
-                    self.scheduler.needs_agent
+                    needs_agent
                     and job.num_gpus > 0
                     and self.now >= job.restart_until
                 ):
                     self._observe(job, slowdown)
                 self._advance(job, cfg.tick_seconds, slowdown)
 
-            running = [
-                j for j in active if j.phase(self.now) == JobPhase.RUNNING
-            ]
-            node_used = np.zeros(self.cluster.num_nodes, dtype=np.int64)
-            for job in active:
-                node_used += job.allocation
+            if self._alloc_cache is None or self._alloc_cache[0] != self._alloc_version:
+                # A job completed this tick (its allocation was zeroed).
+                self._active = [j for j in active if not j.complete]
+                active = self._active
+                matrix = self._alloc_matrix(active)
+
+            node_used = matrix.sum(axis=0)
             gpus_in_use = int(node_used.sum())
+            running = 0
+            pending = 0
+            running_efficiencies: List[float] = []
+            for job in active:
+                if job.num_gpus == 0:
+                    pending += 1
+                elif self.now >= job.restart_until:
+                    running += 1
+                    running_efficiencies.append(job.efficiency_true())
             if len(self._type_names) == 1:
                 gpus_by_type = (gpus_in_use,)
             else:
-                type_ids = self._type_ids
                 gpus_by_type = tuple(
-                    int(node_used[type_ids == t].sum())
-                    for t in range(len(self._type_names))
+                    int(g) for g in self._type_masks @ node_used
                 )
             result.timeline.append(
                 TimelineSample(
@@ -357,13 +449,11 @@ class Simulator:
                     num_nodes=self.cluster.num_nodes,
                     gpus_in_use=gpus_in_use,
                     total_gpus=self.cluster.total_gpus,
-                    running_jobs=len(running),
-                    pending_jobs=sum(
-                        1 for j in active if j.phase(self.now) == JobPhase.PENDING
-                    ),
+                    running_jobs=running,
+                    pending_jobs=pending,
                     mean_efficiency=(
-                        float(np.mean([j.efficiency_true() for j in running]))
-                        if running
+                        float(np.mean(running_efficiencies))
+                        if running_efficiencies
                         else 0.0
                     ),
                     mean_speedup_utility=float(
@@ -376,8 +466,9 @@ class Simulator:
             )
             result.node_seconds += self.cluster.num_nodes * cfg.tick_seconds
             self.now += cfg.tick_seconds
+            self._admit_submitted()
 
-            if all(j.complete for j in self.jobs):
+            if not self._active and self._next_submit_idx >= len(self.jobs):
                 break
 
         result.end_time = self.now

@@ -68,6 +68,22 @@ class GNSTrajectory:
             return float(out)
         return out
 
+    def phi_scalar(self, progress: float) -> float:
+        """Scalar fast path for :meth:`phi`, bit-identical to it.
+
+        Python arithmetic for the exact operations, with the one ``pow``
+        routed through the same numpy ufunc the array path uses (scalar
+        ``**`` rounds differently).  Used by the simulator's per-tick
+        ground-truth evaluation.
+        """
+        p = 0.0 if progress < 0.0 else (1.0 if progress > 1.0 else float(progress))
+        base = self.phi_start * np.power(self.phi_end / self.phi_start, p)
+        factor = 1.0
+        for jump_p, jump_f in self.decay_jumps:
+            if p >= jump_p:
+                factor = factor * jump_f
+        return float(base * factor)
+
     @property
     def final_phi(self) -> float:
         """phi at the end of training, including all jumps."""

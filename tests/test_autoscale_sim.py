@@ -32,8 +32,10 @@ class StepAutoscaler:
     def __init__(self, schedule, interval=60.0):
         self.schedule = sorted(schedule)
         self.interval = interval
+        self.decide_times = []
 
     def decide(self, now, jobs, cluster, scheduler):
+        self.decide_times.append(now)
         nodes = self.schedule[0][1]
         for at, count in self.schedule:
             if now >= at:
@@ -110,3 +112,61 @@ class TestClusterResize:
         )
         sim.run()
         assert sim.jobs[0].allocation.shape == (4,)
+
+
+class TestPostIdleAutoscale:
+    """Regression: the idle fast-forward must leave every periodic timer
+    (including the autoscaler's, which it previously skipped) aligned with
+    the post-idle clock."""
+
+    def _run_with_gap(self, gap_hours):
+        """One early job, then a long idle gap, then a second job."""
+        early = spec("early")
+        late = JobSpec(
+            name="late",
+            model=MODEL_ZOO["neumf-movielens"],
+            submission_time=gap_hours * 3600.0,
+            fixed_num_gpus=8,
+            fixed_batch_size=512,
+        )
+        autoscaler = StepAutoscaler([(0.0, 2)], interval=600.0)
+        sim = Simulator(
+            ClusterSpec.homogeneous(2, 4),
+            PinnedScheduler(),
+            [early, late],
+            SimConfig(seed=0, max_hours=3 * gap_hours),
+            autoscaler=autoscaler,
+        )
+        result = sim.run()
+        return sim, autoscaler, result
+
+    def test_autoscaler_fires_promptly_after_idle(self):
+        gap_hours = 4.0
+        sim, autoscaler, result = self._run_with_gap(gap_hours)
+        assert result.num_unfinished == 0
+        gap_start = max(
+            t for t in autoscaler.decide_times if t < gap_hours * 3600.0
+        )
+        post_idle = [
+            t for t in autoscaler.decide_times if t >= gap_hours * 3600.0
+        ]
+        # The idle stretch produced no decide() calls...
+        assert gap_start < 0.5 * gap_hours * 3600.0
+        # ...and the first post-idle decide happens at the tick the late job
+        # is admitted (within one tick of its submission time).
+        assert post_idle
+        assert post_idle[0] - gap_hours * 3600.0 <= sim.config.tick_seconds
+
+    def test_timer_aligned_with_clock_after_idle(self):
+        gap_hours = 4.0
+        sim, autoscaler, _ = self._run_with_gap(gap_hours)
+        # After the run, the autoscaler timer must never trail the clock by
+        # more than its interval (it would with the pre-fix stale timer
+        # semantics if the fast-forward left it in the past).
+        assert sim._next_autoscale >= sim.now - autoscaler.interval
+        # Post-idle decides respect the configured cadence.
+        post_idle = [
+            t for t in autoscaler.decide_times if t >= gap_hours * 3600.0
+        ]
+        for a, b in zip(post_idle, post_idle[1:]):
+            assert b - a >= autoscaler.interval

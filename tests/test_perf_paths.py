@@ -1,0 +1,264 @@
+"""Bit-identity tests for the hot-path fast implementations.
+
+The perf subsystem (PR 2) replaced several numpy-array code paths with
+cheaper equivalents — a batched finite-difference jacobian for the theta_sys
+fit, scalar evaluations for golden-section search and the simulator's ground
+truth, and restricted re-checks in the GA's interference repair.  Every one
+of them is required to be *bit-for-bit* identical to the original
+formulation (the homogeneous default-config invariant from PR 1), which is
+what these tests pin down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.efficiency import efficiency, efficiency_scalar
+from repro.core.goodput import BatchSizeLimits, GoodputModel
+from repro.core.efficiency import EfficiencyModel
+from repro.core.throughput import (
+    ExplorationState,
+    ProfileEntry,
+    ThroughputModel,
+    ThroughputParams,
+    _FitData,
+    _rmsle_batch,
+    _rmsle_full,
+    fit_throughput_params,
+    t_iter_scalar,
+    throughput_scalar,
+)
+from repro.workload.gns import GNSTrajectory
+
+
+def _random_params(rng) -> ThroughputParams:
+    return ThroughputParams(
+        alpha_grad=float(rng.uniform(0.0, 0.2)),
+        beta_grad=float(rng.uniform(0.0, 0.03)),
+        alpha_sync_local=float(rng.uniform(0.0, 0.05)),
+        beta_sync_local=float(rng.uniform(0.0, 0.005)),
+        alpha_sync_node=float(rng.uniform(0.0, 0.3)),
+        beta_sync_node=float(rng.uniform(0.0, 0.02)),
+        gamma=float(rng.uniform(1.0, 10.0)),
+    )
+
+
+class TestScalarThroughputPaths:
+    def test_t_iter_scalar_bit_identical(self):
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            p = _random_params(rng)
+            model = ThroughputModel(p)
+            gpus = int(rng.integers(1, 65))
+            nodes = int(rng.integers(1, gpus + 1))
+            m = float(rng.uniform(1.0, 65536.0))
+            speed = float(rng.uniform(0.5, 4.0))
+            assert t_iter_scalar(p, nodes, gpus, m, speed) == float(
+                model.t_iter(nodes, gpus, m, speed)
+            )
+            assert throughput_scalar(p, nodes, gpus, m, speed) == float(
+                model.throughput(nodes, gpus, m, speed)
+            )
+
+    def test_goodput_scalar_bit_identical(self):
+        rng = np.random.default_rng(1)
+        limits = BatchSizeLimits(
+            init_batch_size=128.0, max_batch_size=8192.0, max_local_bsz=1024.0
+        )
+        for _ in range(200):
+            p = _random_params(rng)
+            model = GoodputModel(
+                p, EfficiencyModel(128.0, float(rng.uniform(0.0, 2000.0))), limits
+            )
+            gpus = int(rng.integers(1, 17))
+            nodes = int(rng.integers(1, gpus + 1))
+            m = float(rng.uniform(128.0, 8192.0))
+            assert model.goodput_scalar(nodes, gpus, m) == float(
+                model.goodput(nodes, gpus, m)
+            )
+
+    def test_efficiency_scalar_bit_identical(self):
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            phi = float(rng.uniform(0.0, 5000.0))
+            m0 = float(rng.uniform(1.0, 1024.0))
+            m = float(rng.uniform(m0, 65536.0))
+            assert efficiency_scalar(phi, m0, m) == efficiency(phi, m0, m)
+
+    def test_gns_phi_scalar_bit_identical(self):
+        rng = np.random.default_rng(3)
+        trajectories = [
+            GNSTrajectory(phi_start=2000.0, phi_end=8000.0,
+                          decay_jumps=((1 / 3, 3.0), (2 / 3, 3.0))),
+            GNSTrajectory(phi_start=20.0, phi_end=120.0, decay_jumps=((0.6, 2.0),)),
+            GNSTrajectory(phi_start=30.0, phi_end=250.0),
+        ]
+        for gns in trajectories:
+            for p in [0.0, 1 / 3, 0.5, 0.6, 2 / 3, 1.0, -0.5, 1.5] + list(
+                rng.uniform(0, 1, 100)
+            ):
+                assert gns.phi_scalar(float(p)) == float(gns.phi(float(p)))
+
+
+class TestBatchedRmsle:
+    def test_batch_rows_match_full(self):
+        """2-D batched RMSLE equals the 1-D evaluation row by row."""
+        rng = np.random.default_rng(4)
+        for n_obs in (1, 3, 17, 60):
+            nodes = rng.integers(1, 5, n_obs).astype(float)
+            gpus = (nodes * rng.integers(1, 5, n_obs)).astype(float)
+            batch = rng.uniform(8, 2048, n_obs)
+            speeds = rng.choice([1.0, 2.0], n_obs)
+            t_obs_log = np.log(rng.uniform(0.01, 1.0, n_obs))
+            data = _FitData.build(nodes, gpus, batch, speeds, t_obs_log)
+            gamma = float(rng.uniform(1.0, 10.0))
+            full = np.abs(rng.normal(0, 0.1, (12, 7)))
+            full[:, 6] = gamma
+            batched = _rmsle_batch(full, data, gamma)
+            for i in range(full.shape[0]):
+                assert batched[i] == _rmsle_full(full[i], data)
+
+
+class TestFitJacobianEquivalence:
+    def test_fd_jac_matches_scipy_internal_differences(self):
+        """The batched jacobian reproduces jac=None fits bit-for-bit."""
+        rng = np.random.default_rng(5)
+        for trial in range(8):
+            p = _random_params(rng)
+            model = ThroughputModel(p)
+            obs = []
+            exploration = ExplorationState()
+            for _ in range(int(rng.integers(4, 40))):
+                gpus = int(rng.integers(1, 17))
+                nodes = int(rng.integers(1, gpus + 1))
+                bs = float(rng.uniform(8, 2048))
+                speed = float(rng.choice([1.0, 2.0]))
+                t = float(model.t_iter(nodes, gpus, bs, speed)) * float(
+                    rng.lognormal(0, 0.05)
+                )
+                obs.append(ProfileEntry(nodes, gpus, bs, t, speed))
+                exploration.observe(nodes, gpus)
+            initial = (
+                ThroughputParams(0.05, 0.01, 0.01, 0.001, 0.05, 0.002, 2.0)
+                if trial % 2
+                else None
+            )
+            fast = fit_throughput_params(
+                obs, exploration, initial=initial, seed=trial, use_fd_jac=True
+            )
+            slow = fit_throughput_params(
+                obs, exploration, initial=initial, seed=trial, use_fd_jac=False
+            )
+            assert fast == slow
+
+
+class TestSimJobDerivedCache:
+    def test_allocation_setter_invalidates_derived_state(self):
+        from repro.sim.job import SimJob
+        from repro.workload import MODEL_ZOO, JobSpec
+
+        spec = JobSpec(
+            name="j",
+            model=MODEL_ZOO["resnet18-cifar10"],
+            submission_time=0.0,
+            fixed_num_gpus=1,
+            fixed_batch_size=128,
+        )
+        job = SimJob(spec, num_nodes=3, node_speeds=np.array([1.0, 2.0, 2.0]))
+        assert job.num_gpus == 0 and job.current_speed == 1.0
+        job.allocation = np.array([2, 1, 0])
+        assert job.num_gpus == 3
+        assert job.num_nodes_occupied == 2
+        assert job.is_distributed
+        assert job.current_speed == 1.0  # slowest occupied node
+        job.allocation = np.array([0, 4, 0])
+        assert job.num_gpus == 4
+        assert not job.is_distributed
+        assert job.current_speed == 2.0
+        job.node_speeds = np.array([1.0, 3.2, 3.2])
+        assert job.current_speed == 3.2
+
+    def test_ground_truth_matches_array_formulation(self):
+        from repro.sim.job import SimJob
+        from repro.workload import MODEL_ZOO, JobSpec
+
+        for name, profile in MODEL_ZOO.items():
+            spec = JobSpec(
+                name=name,
+                model=profile,
+                submission_time=0.0,
+                fixed_num_gpus=4,
+                fixed_batch_size=profile.init_batch_size,
+            )
+            job = SimJob(spec, num_nodes=4)
+            job.allocation = np.array([2, 2, 0, 0])
+            job.progress = 0.4 * job.target
+            expected_t = float(
+                profile.throughput_true.t_iter(2, 4, job.batch_size, 1.0)
+            )
+            assert job.t_iter_true() == expected_t
+            expected_tput = float(
+                profile.throughput_true.throughput(2, 4, job.batch_size, 1.0)
+            )
+            assert job.throughput_true() == expected_tput
+            assert job.phi_true() == float(
+                profile.gns.phi(job.progress_fraction)
+            )
+
+
+class TestRepairInterferenceEquivalence:
+    def test_restricted_recheck_matches_reference(self):
+        """The incremental repair equals the original full-rescan repair."""
+        from repro.cluster import ClusterSpec
+        from repro.core.genetic import (
+            AllocationProblem,
+            GAConfig,
+            GeneticOptimizer,
+            JobGAInfo,
+        )
+
+        def reference_repair(pop, problem, rng):
+            pop = pop.copy()
+            for _ in range(problem.num_nodes + 1):
+                dist = (pop > 0).sum(axis=-1) >= 2
+                present = pop > 0
+                sharing = (present & dist[:, :, None]).sum(axis=1)
+                where_p, where_n = np.where(sharing >= 2)
+                if len(where_p) == 0:
+                    return pop
+                for p, n in zip(where_p, where_n):
+                    row_dist = (pop[p] > 0).sum(axis=-1) >= 2
+                    offenders = np.where((pop[p, :, n] > 0) & row_dist)[0]
+                    if len(offenders) < 2:
+                        continue
+                    keep = offenders[rng.integers(0, len(offenders))]
+                    drop = offenders[offenders != keep]
+                    pop[p, drop, n] = 0
+            return pop
+
+        rng = np.random.default_rng(13)
+        cluster = ClusterSpec.homogeneous(5, 4)
+        table = np.zeros((9, 2))
+        table[1:, :] = np.linspace(1.0, 3.0, 8)[:, None]
+        jobs = [
+            JobGAInfo(
+                speedup_table=table,
+                weight=1.0,
+                max_gpus=8,
+                current_alloc=np.zeros(5, dtype=np.int64),
+                running=False,
+            )
+            for _ in range(7)
+        ]
+        problem = AllocationProblem(cluster, jobs)
+        for seed in range(20):
+            pop = np.random.default_rng(seed).integers(
+                0, 3, size=(6, 7, 5), dtype=np.int64
+            )
+            opt = GeneticOptimizer(
+                problem, GAConfig(population_size=6, generations=1),
+                rng=np.random.default_rng(99),
+            )
+            fast = pop.copy()
+            opt._repair_interference(fast)
+            expected = reference_repair(pop, problem, np.random.default_rng(99))
+            assert np.array_equal(fast, expected)
