@@ -1,0 +1,329 @@
+"""Head-to-head benchmark of the GA engines: legacy vs v2.
+
+The v2 engine (``PolluxSchedConfig(ga_engine="v2")``, the default) changed
+the scheduler's decision stream — vectorized repair draws different random
+removals, batched table builds round differently in the last ulp, and warm
+starts seed differently — so its equivalence to the legacy engine is held
+by *benchmarked parity*, not bit-identity.  This file is that benchmark:
+
+- **Round time.**  Median wall-clock of one ``PolluxSched.optimize`` round
+  in the steady state (persistent scheduler, per-round phi drift — exactly
+  how the simulator invokes it) and from a cold start, for both engines.
+  The acceptance bar is v2 >= 3x faster per steady-state round at
+  ``reduced`` scale.
+- **Decision parity.**  The fig-6 diurnal trace run end-to-end through
+  both engines on the homogeneous fleet, the two-type heterogeneous
+  fleet, and the homogeneous fleet with cloud autoscaling.  The bar is
+  seed-averaged avg JCT within +-2% of legacy; the autoscale scenario is
+  additionally calibrated against the *intra-legacy* noise band (legacy
+  vs legacy with a different GA seed, measured identically), because its
+  size-decision feedback amplifies any stream change into several-percent
+  JCT swings.
+- **Batch-tuning delta.**  The same trace with table-driven vs
+  golden-section batch tuning (both on the v2 engine), quantifying the
+  JCT delta that justified making ``SimConfig(batch_tuning="table")`` the
+  default.
+
+Run modes:
+
+    pytest benchmarks/bench_ga_engines.py -s     # benchmark + assertions
+    python benchmarks/bench_ga_engines.py        # writes BENCH_ga_engines.json
+
+``REPRO_BENCH_SCALE=smoke|reduced|paper`` selects the workload size; the
+parity assertions are enforced at reduced scale and above (smoke traces
+are too small for stable JCT ratios).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+if __name__ == "__main__":  # script mode: make src/ and benchmarks/ importable
+    _repo = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(_repo / "src"))
+    sys.path.insert(0, str(_repo))
+
+from repro.cluster import ClusterSpec
+from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
+from repro.schedulers import PolluxAutoscalerHook, PolluxScheduler
+from repro.sim import SimConfig, Simulator
+from repro.workload import TraceConfig, generate_trace
+
+from benchmarks.bench_perf import _decision_digest, bench_sched_round
+from benchmarks.common import SCALE, print_header
+
+ENGINES = ("legacy", "v2")
+SCENARIOS = ("homogeneous", "heterogeneous", "autoscale")
+
+#: Acceptance bars (enforced at reduced scale and above).
+MIN_ROUND_SPEEDUP = 3.0
+MAX_JCT_DELTA = 0.02
+
+#: Minimum trace seeds for the JCT-parity comparison.  A single seed's
+#: delta is chaotic-divergence noise (±5% is routine), so at reduced scale
+#: and above the scenario runs are widened to at least this many seeds
+#: even when the scale preset configures fewer.
+PARITY_SEEDS = 4
+
+
+def _ga_config() -> GAConfig:
+    return GAConfig(
+        population_size=SCALE.ga_population, generations=SCALE.ga_generations
+    )
+
+
+def _sched_config(engine: str) -> PolluxSchedConfig:
+    return PolluxSchedConfig(ga=_ga_config(), ga_engine=engine)
+
+
+def bench_round_times(repeats: int = 5) -> Dict[str, Dict[str, float]]:
+    """Median per-round optimize() time for each engine.
+
+    Delegates to :func:`benchmarks.bench_perf.bench_sched_round` so both
+    benchmark files measure the identical steady-state protocol (one
+    persistent scheduler, per-round phi drift) and cold-start protocol
+    (fresh scheduler per round).
+    """
+    return {
+        engine: {
+            "steady_ms": result["steady_ms"],
+            "cold_ms": result["cold_ms"],
+            "phases_ms": result["phase_ms"],
+        }
+        for engine, result in (
+            (engine, bench_sched_round(repeats, engine=engine))
+            for engine in ENGINES
+        )
+    }
+
+
+def _make_cluster(scenario: str) -> ClusterSpec:
+    if scenario == "heterogeneous":
+        num_v100 = max(1, SCALE.num_nodes // 3)
+        num_t4 = max(1, SCALE.num_nodes - num_v100)
+        return ClusterSpec.heterogeneous(
+            (
+                ("v100", num_v100, SCALE.gpus_per_node),
+                ("t4", num_t4, SCALE.gpus_per_node),
+            )
+        )
+    return ClusterSpec.homogeneous(SCALE.num_nodes, SCALE.gpus_per_node)
+
+
+def run_trace(
+    engine: str,
+    scenario: str,
+    seed: int = 1,
+    batch_tuning: Optional[str] = None,
+    sched_seed: int = 0,
+) -> Dict[str, object]:
+    """One fig-6-trace simulation; returns JCT/digest/wall-clock stats.
+
+    ``sched_seed`` seeds the scheduler's GA randomness; the default 0 is
+    the production stream, and the null-calibration runs (see
+    ``run_bench``) use 1 to measure legacy-vs-legacy decision noise.
+    """
+    cluster = _make_cluster(scenario)
+    trace = generate_trace(
+        TraceConfig(
+            num_jobs=SCALE.num_jobs,
+            duration_hours=SCALE.duration_hours,
+            seed=seed,
+            max_gpus=cluster.total_gpus,
+            gpus_per_node=SCALE.gpus_per_node,
+        )
+    )
+    sched_config = _sched_config(engine)
+    scheduler = PolluxScheduler(cluster, sched_config, seed=sched_seed)
+    autoscaler = None
+    if scenario == "autoscale":
+        autoscaler = PolluxAutoscalerHook(
+            AutoscaleConfig(min_nodes=1, max_nodes=SCALE.num_nodes * 2),
+            interval=600.0,
+            sched_config=sched_config,
+        )
+    sim_kwargs = {} if batch_tuning is None else {"batch_tuning": batch_tuning}
+    sim = Simulator(
+        cluster,
+        scheduler,
+        trace,
+        SimConfig(seed=seed + 1000, max_hours=SCALE.max_hours, **sim_kwargs),
+        autoscaler=autoscaler,
+    )
+    t0 = time.perf_counter()
+    result = sim.run()
+    return {
+        "avg_jct_hours": round(result.avg_jct() / 3600.0, 6),
+        "num_restarts": int(sum(r.num_restarts for r in result.records)),
+        "decision_digest": _decision_digest(result),
+        "wall_s": round(time.perf_counter() - t0, 3),
+    }
+
+
+def run_bench() -> Dict[str, object]:
+    data: Dict[str, object] = {"scale": SCALE.name}
+    data["round_times"] = bench_round_times()
+    legacy = data["round_times"]["legacy"]
+    v2 = data["round_times"]["v2"]
+    data["round_speedup"] = {
+        "steady": round(legacy["steady_ms"] / v2["steady_ms"], 3),
+        "cold": round(legacy["cold_ms"] / v2["cold_ms"], 3),
+    }
+
+    # JCT parity is a *seed-averaged* comparison: a single trace seed's
+    # avg JCT swings by a few percent from chaotic decision divergence
+    # alone (any change in one reallocation cascades), which is noise, not
+    # engine quality — the paper averages its Table 2 over 8 seeds for the
+    # same reason.  Set REPRO_BENCH_SEEDS to widen the average.
+    #
+    # The autoscale scenario needs one more control: the size-decision
+    # feedback loop amplifies decision noise so strongly that *legacy vs
+    # legacy with a different GA seed* shows seed deltas of -7%..+14%
+    # (mean several percent over 8 seeds).  A fixed +-2% bar is therefore
+    # unsatisfiable by ANY stream change there; instead the v2 delta is
+    # compared against that intra-legacy null delta, measured identically
+    # (``null_delta``): v2 passes if its delta is within the null band
+    # plus the parity margin.
+    seeds = [s + 1 for s in SCALE.seeds]
+    if SCALE.name != "smoke" and len(seeds) < PARITY_SEEDS:
+        seeds = list(range(1, PARITY_SEEDS + 1))
+
+    def summarize(runs: List[Dict[str, object]]) -> Dict[str, object]:
+        return {
+            "avg_jct_hours": round(
+                float(np.mean([r["avg_jct_hours"] for r in runs])), 6
+            ),
+            "per_seed_jct_hours": [r["avg_jct_hours"] for r in runs],
+            "num_restarts": int(np.mean([r["num_restarts"] for r in runs])),
+            "wall_s": round(sum(r["wall_s"] for r in runs), 3),
+            "decision_digest": runs[0]["decision_digest"],
+        }
+
+    scenarios: Dict[str, object] = {}
+    for scenario in SCENARIOS:
+        per_engine: Dict[str, object] = {}
+        for engine in ENGINES:
+            per_engine[engine] = summarize(
+                [run_trace(engine, scenario, seed=s) for s in seeds]
+            )
+        legacy_jct = per_engine["legacy"]["avg_jct_hours"]
+        v2_jct = per_engine["v2"]["avg_jct_hours"]
+        per_engine["jct_delta"] = round(v2_jct / legacy_jct - 1.0, 5)
+        if scenario == "autoscale":
+            null = summarize(
+                [
+                    run_trace("legacy", scenario, seed=s, sched_seed=1)
+                    for s in seeds
+                ]
+            )
+            per_engine["legacy_null"] = null
+            per_engine["null_delta"] = round(
+                null["avg_jct_hours"] / legacy_jct - 1.0, 5
+            )
+        scenarios[scenario] = per_engine
+    data["scenarios"] = scenarios
+
+    # Satellite: the table-vs-golden batch-tuning JCT delta (v2 engine).
+    tuning: Dict[str, object] = {}
+    for mode in ("table", "golden"):
+        runs = [
+            run_trace("v2", "homogeneous", seed=s, batch_tuning=mode)
+            for s in seeds
+        ]
+        tuning[mode] = {
+            "avg_jct_hours": round(
+                float(np.mean([r["avg_jct_hours"] for r in runs])), 6
+            ),
+            "per_seed_jct_hours": [r["avg_jct_hours"] for r in runs],
+        }
+    tuning["jct_delta"] = round(
+        tuning["table"]["avg_jct_hours"] / tuning["golden"]["avg_jct_hours"]
+        - 1.0,
+        5,
+    )
+    data["batch_tuning"] = tuning
+    return data
+
+
+def _print_report(data: Dict[str, object]) -> None:
+    print_header("GA engines: legacy vs v2")
+    rt = data["round_times"]
+    for engine in ENGINES:
+        print(
+            f"{engine:8s} round: steady {rt[engine]['steady_ms']:8.2f} ms   "
+            f"cold {rt[engine]['cold_ms']:8.2f} ms"
+        )
+    sp = data["round_speedup"]
+    print(f"v2 speedup: {sp['steady']:.2f}x steady, {sp['cold']:.2f}x cold")
+    for scenario, entry in data["scenarios"].items():
+        null = ""
+        if "null_delta" in entry:
+            null = (
+                f"   (legacy-vs-legacy null {entry['null_delta'] * 100:+.2f}%)"
+            )
+        print(
+            f"{scenario:14s} avg JCT  legacy "
+            f"{entry['legacy']['avg_jct_hours']:.4f} h   v2 "
+            f"{entry['v2']['avg_jct_hours']:.4f} h   "
+            f"delta {entry['jct_delta'] * 100:+.2f}%{null}"
+        )
+    bt = data["batch_tuning"]
+    print(
+        f"batch tuning   avg JCT  golden "
+        f"{bt['golden']['avg_jct_hours']:.4f} h   table "
+        f"{bt['table']['avg_jct_hours']:.4f} h   "
+        f"delta {bt['jct_delta'] * 100:+.2f}%"
+    )
+
+
+def test_ga_engines(benchmark) -> None:
+    data = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    _print_report(data)
+    for scenario in SCENARIOS:
+        assert data["scenarios"][scenario]["v2"]["avg_jct_hours"] > 0
+    if SCALE.name == "smoke":
+        # Tiny traces: a handful of jobs, so one reallocation swings JCT by
+        # far more than 2% — only check that both engines run end-to-end.
+        return
+    assert data["round_speedup"]["steady"] >= MIN_ROUND_SPEEDUP, data[
+        "round_speedup"
+    ]
+    for scenario in SCENARIOS:
+        entry = data["scenarios"][scenario]
+        delta = abs(entry["jct_delta"])
+        bound = MAX_JCT_DELTA
+        if "null_delta" in entry:
+            # Autoscale: judged against the intra-legacy noise band (see
+            # run_bench) — the feedback loop makes a fixed bar meaningless.
+            bound = max(bound, abs(entry["null_delta"]) + MAX_JCT_DELTA)
+        assert delta <= bound, (scenario, delta, bound)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    del argv
+    data = run_bench()
+    _print_report(data)
+    out_path = Path(
+        os.environ.get("REPRO_BENCH_GA_OUT", "BENCH_ga_engines.json")
+    )
+    existing: Dict[str, object] = {}
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing[str(data["scale"])] = data
+    out_path.write_text(json.dumps(existing, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

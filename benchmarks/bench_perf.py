@@ -153,21 +153,71 @@ def _synthetic_round_jobs(
     return jobs
 
 
-def bench_sched_round(repeats: int = 5) -> float:
-    """Median milliseconds for one PolluxSched.optimize round."""
+def _drifted_jobs(
+    jobs: List[SchedJobInfo], round_idx: int
+) -> List[SchedJobInfo]:
+    """Per-round phi drift: theta_sys stable, phi moving (the steady state)."""
+    out = []
+    for job in jobs:
+        rep = job.report
+        out.append(
+            SchedJobInfo(
+                job_id=job.job_id,
+                report=AgentReport(
+                    throughput_params=rep.throughput_params,
+                    grad_noise_scale=rep.grad_noise_scale
+                    * (1.0 + 0.01 * round_idx),
+                    init_batch_size=rep.init_batch_size,
+                    limits=rep.limits,
+                    max_gpus_seen=rep.max_gpus_seen,
+                ),
+                current_alloc=job.current_alloc,
+                gputime=job.gputime,
+            )
+        )
+    return out
+
+
+def bench_sched_round(
+    repeats: int = 5, engine: Optional[str] = None
+) -> Dict[str, object]:
+    """Per-round PolluxSched.optimize timings for one engine.
+
+    ``steady_ms`` (the tracked headline and CI-gated number) measures the
+    recurring round: one scheduler kept alive across rounds — warm caches,
+    bootstrap population — with each round's reports carrying a fresh phi
+    (what every simulator tick after the first looks like).  ``cold_ms``
+    measures a from-scratch scheduler with empty caches.  ``phase_ms``
+    breaks the last steady round down by phase so regressions localize.
+    """
     cluster = ClusterSpec.homogeneous(SCALE.num_nodes, SCALE.gpus_per_node)
     jobs = _synthetic_round_jobs(cluster, SCALE.num_jobs)
+    kwargs = {} if engine is None else {"ga_engine": engine}
     config = PolluxSchedConfig(
         ga=GAConfig(
             population_size=SCALE.ga_population, generations=SCALE.ga_generations
-        )
+        ),
+        **kwargs,
     )
 
-    def one_round() -> None:
-        sched = PolluxSched(cluster, config, seed=1)
-        sched.optimize(jobs)
+    sched = PolluxSched(cluster, config, seed=1)
+    sched.optimize(jobs)  # warm-up round
+    steady = []
+    for round_idx in range(1, repeats * 3 + 1):
+        drifted = _drifted_jobs(jobs, round_idx)
+        t0 = time.perf_counter()
+        sched.optimize(drifted)
+        steady.append((time.perf_counter() - t0) * 1000.0)
+    phase_ms = {k: round(v, 3) for k, v in sched.last_phase_timings.items()}
 
-    return _median_ms(one_round, repeats)
+    def one_cold_round() -> None:
+        PolluxSched(cluster, config, seed=1).optimize(jobs)
+
+    return {
+        "steady_ms": round(float(np.median(steady)), 3),
+        "cold_ms": round(_median_ms(one_cold_round, repeats), 3),
+        "phase_ms": phase_ms,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -199,7 +249,18 @@ def bench_agent_fit(repeats: int = 5) -> float:
 # Macro: end-to-end simulator wall-clock
 # ----------------------------------------------------------------------
 
-def _make_sim(autoscale: bool, batch_tuning: str = "search") -> Simulator:
+def _make_sim(
+    autoscale: bool,
+    batch_tuning: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> Simulator:
+    """Simulator at benchmark scale; None parameters mean repo defaults.
+
+    ``engine="legacy"`` pins both the scheduler and the autoscaler probes
+    to the legacy GA engine and pairs it with golden-section tuning — the
+    exact pre-v2 default configuration whose decision digests are pinned
+    bit-for-bit in the committed baseline.
+    """
     cluster = ClusterSpec.homogeneous(SCALE.num_nodes, SCALE.gpus_per_node)
     trace = generate_trace(
         TraceConfig(
@@ -210,34 +271,38 @@ def _make_sim(autoscale: bool, batch_tuning: str = "search") -> Simulator:
             gpus_per_node=SCALE.gpus_per_node,
         )
     )
-    scheduler = PolluxScheduler(
-        cluster,
-        PolluxSchedConfig(
-            ga=GAConfig(
-                population_size=SCALE.ga_population,
-                generations=SCALE.ga_generations,
-            )
+    sched_kwargs = {} if engine is None else {"ga_engine": engine}
+    sched_config = PolluxSchedConfig(
+        ga=GAConfig(
+            population_size=SCALE.ga_population,
+            generations=SCALE.ga_generations,
         ),
+        **sched_kwargs,
     )
+    scheduler = PolluxScheduler(cluster, sched_config)
     autoscaler = None
     if autoscale:
         autoscaler = PolluxAutoscalerHook(
             AutoscaleConfig(min_nodes=1, max_nodes=SCALE.num_nodes * 2),
             interval=600.0,
+            sched_config=sched_config,
         )
+    sim_kwargs = {} if batch_tuning is None else {"batch_tuning": batch_tuning}
     return Simulator(
         cluster,
         scheduler,
         trace,
-        SimConfig(
-            seed=1001, max_hours=SCALE.max_hours, batch_tuning=batch_tuning
-        ),
+        SimConfig(seed=1001, max_hours=SCALE.max_hours, **sim_kwargs),
         autoscaler=autoscaler,
     )
 
 
-def bench_sim(autoscale: bool, batch_tuning: str = "search") -> Dict[str, object]:
-    sim = _make_sim(autoscale, batch_tuning)
+def bench_sim(
+    autoscale: bool,
+    batch_tuning: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> Dict[str, object]:
+    sim = _make_sim(autoscale, batch_tuning, engine)
     t0 = time.perf_counter()
     result = sim.run()
     wall = time.perf_counter() - t0
@@ -253,6 +318,10 @@ def bench_sim(autoscale: bool, batch_tuning: str = "search") -> Dict[str, object
             "hits": cache.stats.hits,
             "misses": cache.stats.misses,
             "evictions": cache.stats.evictions,
+            # v2's second level: phi-free throughput cells reused across
+            # rounds while only phi drifted (0/0 on the legacy path).
+            "cells_hits": cache.stats.cells_hits,
+            "cells_misses": cache.stats.cells_misses,
         }
     return out
 
@@ -263,15 +332,38 @@ def bench_sim(autoscale: bool, batch_tuning: str = "search") -> Dict[str, object
 
 def run_bench() -> Dict[str, object]:
     repeats = 3 if SCALE.name == "paper" else 5
+    import scipy
+
+    round_default = bench_sched_round(repeats)
+    round_legacy = bench_sched_round(repeats, engine="legacy")
     data: Dict[str, object] = {
         "scale": SCALE.name,
+        # Decision digests are exact float streams: they are only required
+        # to reproduce on matching numeric stacks, so the versions ride
+        # along for the baseline check to compare.
+        "numpy_version": np.__version__,
+        "scipy_version": scipy.__version__,
         "calibration_ms": round(_calibration_ms(), 3),
-        "sched_round_ms": round(bench_sched_round(repeats), 3),
+        # Headline + CI-gated number: the default engine's steady-state
+        # round (see bench_sched_round).
+        "sched_round_ms": round_default["steady_ms"],
+        "sched_round_cold_ms": round_default["cold_ms"],
+        "sched_phase_ms": round_default["phase_ms"],
+        "sched_round_legacy_ms": round_legacy["steady_ms"],
+        "sched_round_legacy_cold_ms": round_legacy["cold_ms"],
+        "sched_round_speedup": round(
+            round_legacy["steady_ms"] / round_default["steady_ms"], 3
+        ),
         "agent_fit_ms": round(bench_agent_fit(repeats), 3),
         "sim_pollux": bench_sim(autoscale=False),
         "sim_pollux_autoscale": bench_sim(autoscale=True),
-        "sim_pollux_autoscale_table_tuning": bench_sim(
-            autoscale=True, batch_tuning="table"
+        # The pre-v2 default configuration (legacy engine + golden-section
+        # tuning): its decision digests are pinned bit-for-bit.
+        "sim_pollux_legacy": bench_sim(
+            autoscale=False, batch_tuning="golden", engine="legacy"
+        ),
+        "sim_pollux_autoscale_legacy": bench_sim(
+            autoscale=True, batch_tuning="golden", engine="legacy"
         ),
     }
     return data
@@ -279,12 +371,25 @@ def run_bench() -> Dict[str, object]:
 
 def _print_report(data: Dict[str, object]) -> None:
     print_header("Perf: scheduling/simulation hot path")
-    print(f"sched round      {data['sched_round_ms']:10.2f} ms")
-    print(f"agent fit        {data['agent_fit_ms']:10.2f} ms")
+    print(
+        f"sched round (v2)     {data['sched_round_ms']:10.2f} ms steady  "
+        f"{data['sched_round_cold_ms']:10.2f} ms cold"
+    )
+    print(
+        f"sched round (legacy) {data['sched_round_legacy_ms']:10.2f} ms steady  "
+        f"{data['sched_round_legacy_cold_ms']:10.2f} ms cold  "
+        f"(v2 {data['sched_round_speedup']:.2f}x)"
+    )
+    phases = ", ".join(
+        f"{k}={v:.1f}" for k, v in data["sched_phase_ms"].items()
+    )
+    print(f"sched phases (ms)    {phases}")
+    print(f"agent fit            {data['agent_fit_ms']:10.2f} ms")
     for key in (
         "sim_pollux",
         "sim_pollux_autoscale",
-        "sim_pollux_autoscale_table_tuning",
+        "sim_pollux_legacy",
+        "sim_pollux_autoscale_legacy",
     ):
         sim = data[key]
         cache = sim.get("surface_cache")
@@ -341,18 +446,51 @@ def _check_baseline(data: Dict[str, object]) -> int:
         if now_ms > limit:
             print("PERF REGRESSION: scheduling round exceeds 2x baseline")
             return 1
+    # The legacy engine's decision stream is pinned bit-for-bit: a digest
+    # move on the legacy-configured sims is a regression — but only on a
+    # numeric stack matching the baseline's.  A numpy/scipy release can
+    # legitimately move last-ulp rounding (and with it every digest), so
+    # on mismatched versions this downgrades to a loud warning instead of
+    # permanently breaking CI until the baseline is refreshed.
+    exit_code = 0
+    same_stack = all(
+        entry.get(key) == data.get(key)
+        for key in ("numpy_version", "scipy_version")
+    )
+    for key in ("sim_pollux_legacy", "sim_pollux_autoscale_legacy"):
+        base_digest = entry.get(key, {}).get("decision_digest")
+        now_digest = data.get(key, {}).get("decision_digest")
+        if base_digest and now_digest and base_digest != now_digest:
+            print(
+                f"LEGACY DIGEST MISMATCH ({key}): {now_digest[:12]}... vs "
+                f"baseline {base_digest[:12]}... — the legacy decision "
+                "stream must not move"
+                + (
+                    ""
+                    if same_stack
+                    else (
+                        " (numpy/scipy differ from the baseline's: "
+                        f"{data.get('numpy_version')}/"
+                        f"{data.get('scipy_version')} vs "
+                        f"{entry.get('numpy_version')}/"
+                        f"{entry.get('scipy_version')}; treating as a "
+                        "warning — refresh the baseline on this stack)"
+                    )
+                )
+            )
+            if same_stack:
+                exit_code = 1
     base_digest = entry.get("sim_pollux_autoscale", {}).get("decision_digest")
     now_digest = data["sim_pollux_autoscale"]["decision_digest"]
     if base_digest and base_digest != now_digest:
-        # Decision streams are seeded and deterministic; a digest move means
-        # scheduling behavior changed (worth a deliberate baseline refresh,
-        # not a silent pass) — but numeric environments can differ across
-        # platforms, so this is a loud warning rather than a failure.
+        # The default (v2) stream is deterministic but only benchmarked-
+        # equivalent; a move means scheduling behavior changed and deserves
+        # a deliberate baseline refresh, not a silent pass.
         print(
-            "WARNING: decision digest differs from baseline "
+            "WARNING: v2 decision digest differs from baseline "
             f"({now_digest[:12]}... vs {base_digest[:12]}...)"
         )
-    return 0
+    return exit_code
 
 
 def test_perf(benchmark) -> None:

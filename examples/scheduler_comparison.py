@@ -24,6 +24,13 @@ def main() -> None:
     parser.add_argument("--nodes", type=int, default=8, help="number of 4-GPU nodes")
     parser.add_argument("--hours", type=float, default=4.0, help="submission window")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine",
+        choices=("v2", "legacy"),
+        default="v2",
+        help="Pollux GA engine: 'v2' (vectorized, default) or 'legacy' "
+        "(the bit-pinned original)",
+    )
     args = parser.parse_args()
 
     cluster = ClusterSpec.homogeneous(args.nodes, 4)
@@ -43,7 +50,10 @@ def main() -> None:
     schedulers = [
         PolluxScheduler(
             cluster,
-            PolluxSchedConfig(ga=GAConfig(population_size=32, generations=12)),
+            PolluxSchedConfig(
+                ga=GAConfig(population_size=32, generations=12),
+                ga_engine=args.engine,
+            ),
         ),
         OptimusScheduler(max_gpus_per_job=cluster.total_gpus),
         TiresiasScheduler(),

@@ -10,7 +10,15 @@ from .adascale import (
 from .agent import AgentReport, PolluxAgent, optimistic_params
 from .autoscale import AutoscaleConfig, AutoscaleDecision, UtilityAutoscaler
 from .efficiency import EfficiencyModel, GradientStats, efficiency, gradient_noise_scale
-from .genetic import AllocationProblem, GAConfig, GeneticOptimizer, JobGAInfo
+from .genetic import (
+    GA_ENGINES,
+    AllocationProblem,
+    GAConfig,
+    GeneticOptimizer,
+    GeneticOptimizerV2,
+    JobGAInfo,
+    make_optimizer,
+)
 from .goldensection import golden_section_search, golden_section_search_int
 from .goodput import BatchSizeLimits, GoodputModel, batch_size_grid
 from .rackaware import (
@@ -24,6 +32,7 @@ from .speedup import (
     best_batch_size_table,
     build_speedup_table,
     build_surfaces,
+    build_surfaces_batch,
     build_typed_speedup_table,
     build_typed_surfaces,
     speedup,
@@ -58,8 +67,11 @@ __all__ = [
     "gradient_noise_scale",
     "AllocationProblem",
     "GAConfig",
+    "GA_ENGINES",
     "GeneticOptimizer",
+    "GeneticOptimizerV2",
     "JobGAInfo",
+    "make_optimizer",
     "golden_section_search",
     "golden_section_search_int",
     "BatchSizeLimits",
@@ -76,6 +88,7 @@ __all__ = [
     "best_batch_size_table",
     "build_speedup_table",
     "build_surfaces",
+    "build_surfaces_batch",
     "build_typed_speedup_table",
     "build_typed_surfaces",
     "speedup",

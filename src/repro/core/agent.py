@@ -103,6 +103,18 @@ class AgentReport:
             phi_key = float(round(np.log1p(phi) / np.log1p(phi_tol)))
         else:
             phi_key = phi
+        return self.theta_fingerprint() + (phi_key,)
+
+    def theta_fingerprint(self) -> Tuple[float, ...]:
+        """The phi-free part of :meth:`fingerprint`.
+
+        Covers theta_sys (7 floats), m0, and the batch-size limits — every
+        input of the *throughput* half of the goodput surface.  phi_t
+        drifts on every simulator tick while theta_sys re-fits only every
+        ``refit_every`` observations, so this key identifies the
+        :class:`~repro.core.speedup.TputCells` a round can reuse across
+        many phi values (the v2 engine's steady-state table path).
+        """
         p = self.throughput_params
         return (
             p.alpha_grad,
@@ -112,7 +124,6 @@ class AgentReport:
             p.alpha_sync_node,
             p.beta_sync_node,
             p.gamma,
-            phi_key,
             self.init_batch_size,
             # limits.init_batch_size normally equals init_batch_size (the
             # goodput model asserts it), but a hand-built report can
@@ -309,16 +320,18 @@ class PolluxAgent:
             num_nodes: Nodes hosting at least one replica.
             num_gpus: Total allocated GPUs.
             speed: Relative compute speed of the allocated GPU type.
-            method: ``"search"`` (default) runs golden-section search over
-                the feasible batch sizes — the paper's Eqn. 13 procedure.
-                ``"table"`` takes an O(1) lookup from the memoized argmax
-                batch-size table of :func:`repro.core.speedup.
-                best_batch_size_table` instead; the goodput at the table's
-                choice matches the search optimum to within the geometric
-                grid's resolution (equivalence asserted by
-                ``tests/test_surfacecache.py``), but the batch size itself
-                can differ by up to one grid step, so table mode is opt-in
-                (``SimConfig.batch_tuning``) rather than the default.
+            method: ``"search"`` runs golden-section search over the
+                feasible batch sizes — the paper's Eqn. 13 procedure,
+                kept as the ``SimConfig(batch_tuning="golden")`` escape
+                hatch.  ``"table"`` (the simulator's default since
+                table-driven tuning was benchmarked JCT-equivalent) takes
+                an O(1) lookup from the memoized argmax batch-size table
+                of :func:`repro.core.speedup.best_batch_size_table`
+                instead; the goodput at the table's choice matches the
+                search optimum to within the geometric grid's resolution
+                (equivalence asserted by ``tests/test_surfacecache.py``),
+                though the batch size itself can differ by up to one grid
+                step.
             points_per_octave: Grid density for ``method="table"``.
 
         Returns:

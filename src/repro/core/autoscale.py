@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cluster.spec import ClusterSpec, NodeSpec
-from .genetic import GAConfig, GeneticOptimizer
+from .genetic import GAConfig, make_optimizer
 from .sched import PolluxSched, PolluxSchedConfig, SchedJobInfo
 from .surfacecache import SurfaceCache
 
@@ -42,8 +42,15 @@ class AutoscaleConfig:
     max_nodes: int = 16
     low_util_thres: float = 0.55
     high_util_thres: float = 0.85
+    #: GA budget for each cluster-size probe.  ``patience=0``: probes are
+    #: small, cold-started, fixed-budget searches, so plateau early-exit
+    #: saves almost nothing but can freeze a probe in a local optimum
+    #: (under-estimating the achievable utility systematically biases the
+    #: binary search toward smaller clusters).
     probe_ga: GAConfig = field(
-        default_factory=lambda: GAConfig(population_size=20, generations=10, seed=17)
+        default_factory=lambda: GAConfig(
+            population_size=20, generations=10, seed=17, patience=0
+        )
     )
 
     def __post_init__(self) -> None:
@@ -131,6 +138,7 @@ class UtilityAutoscaler:
             gputime_thres=self.sched_config.gputime_thres,
             weight_decay=self.sched_config.weight_decay,
             ga=self.config.probe_ga,
+            ga_engine=self.sched_config.ga_engine,
             table_points_per_octave=self.sched_config.table_points_per_octave,
             surface_cache_size=self.sched_config.surface_cache_size,
             surface_phi_tol=self.sched_config.surface_phi_tol,
@@ -148,7 +156,7 @@ class UtilityAutoscaler:
             for j in jobs
         ]
         problem = sched.build_problem(probe_jobs)
-        optimizer = GeneticOptimizer(problem, probe_cfg.ga)
+        optimizer = make_optimizer(probe_cfg.ga_engine, problem, probe_cfg.ga)
         best, _, _ = optimizer.run()
         return problem.utility(best)
 

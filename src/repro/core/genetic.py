@@ -20,21 +20,50 @@ per node).  Each generation:
 
 Fitness is the weighted mean of per-job SPEEDUPs (Eqn. 14), with
 RESTART_PENALTY subtracted for each running job whose allocation changes.
-All operators are numpy-vectorized; random decrements use multivariate
-hypergeometric sampling, which is exactly "remove excess GPUs uniformly at
-random one at a time, without replacement".
+
+Two engines implement the loop:
+
+- :class:`GeneticOptimizer` (``"legacy"``) — the original engine.  All
+  operators are numpy-vectorized except the repair decrements, which use
+  per-violation multivariate hypergeometric draws ("remove excess GPUs
+  uniformly at random one at a time, without replacement").  Its random
+  stream — and therefore its decision stream — is pinned bit-for-bit; pure
+  performance work must not move it.
+- :class:`GeneticOptimizerV2` (``"v2"``, the default engine of
+  :class:`~repro.core.sched.PolluxSched`) — fully population-vectorized:
+  the repair steps run as batched array operations over the whole
+  ``(P, J, N)`` population (proportional removal with randomized
+  largest-remainder rounding; node-major random-keep interference
+  resolution), each generation repairs and scores its candidate batches in
+  single calls, and rounds warm-start from the previous round's
+  fitness-sorted population plus mutated neighbors of its best, early-
+  exiting on a fitness plateau (``GAConfig.patience``, default 5).  Its
+  decision stream is deterministic under a fixed seed but deliberately
+  *different* from legacy's; the two are held equivalent by benchmarked
+  JCT parity instead of bit-identity (see
+  ``benchmarks/bench_ga_engines.py`` and the ROADMAP decision-stream
+  policy).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cluster.spec import ClusterSpec
 
-__all__ = ["GAConfig", "JobGAInfo", "AllocationProblem", "GeneticOptimizer"]
+__all__ = [
+    "GAConfig",
+    "JobGAInfo",
+    "AllocationProblem",
+    "GeneticOptimizer",
+    "GeneticOptimizerV2",
+    "make_optimizer",
+    "GA_ENGINES",
+]
 
 
 @dataclass(frozen=True)
@@ -44,12 +73,24 @@ class GAConfig:
     The paper runs 100 generations with a population of 100 per 60 s
     scheduling interval (Sec. 5.1); smaller budgets give the same decisions
     on small clusters and are used to keep test/benchmark runtimes modest.
+
+    ``patience`` enables plateau early-exit in the v2 engine: when > 0, the
+    GA stops once the best fitness has not improved for that many
+    consecutive generations.  Warm-started rounds typically plateau within
+    a few generations — the previous round's winner is already in the seed
+    population — while cold starts (first round, autoscaler probes) keep
+    improving and run their full budget, so the default of 5 buys the
+    steady-state speedup without costing cold-start search quality
+    (validated by the JCT-parity benchmark).  0 disables early exit.  The
+    legacy engine ignores ``patience`` entirely — its generation count,
+    and with it its random stream, stays bit-for-bit pinned.
     """
 
     population_size: int = 100
     generations: int = 100
     tournament_size: int = 3
     seed: int = 0
+    patience: int = 5
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -58,6 +99,8 @@ class GAConfig:
             raise ValueError("generations must be >= 1")
         if self.tournament_size < 1:
             raise ValueError("tournament_size must be >= 1")
+        if self.patience < 0:
+            raise ValueError("patience must be non-negative")
 
 
 @dataclass
@@ -222,7 +265,14 @@ class AllocationProblem:
 
 
 class GeneticOptimizer:
-    """Runs the Sec. 4.2.1 genetic algorithm on an allocation problem."""
+    """Runs the Sec. 4.2.1 genetic algorithm on an allocation problem.
+
+    This is the ``"legacy"`` engine: its random stream is pinned bit-for-bit
+    (see the module docstring), so changes here must not alter the sequence
+    of RNG draws.  ``phase_ms`` accumulates wall-clock per GA phase
+    (``repair_ms``/``fitness_ms``/``select_ms``/``mutate_ms``) across one
+    :meth:`run`; timing instrumentation consumes no randomness.
+    """
 
     def __init__(
         self,
@@ -233,6 +283,22 @@ class GeneticOptimizer:
         self.problem = problem
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.phase_ms: Dict[str, float] = {}
+        self._reset_timings()
+
+    def _reset_timings(self) -> None:
+        self.phase_ms = {
+            "repair_ms": 0.0,
+            "fitness_ms": 0.0,
+            "select_ms": 0.0,
+            "mutate_ms": 0.0,
+        }
+
+    def _timed_fitness(self, population: np.ndarray) -> np.ndarray:
+        t0 = time.perf_counter()
+        out = self.problem.fitness(population)
+        self.phase_ms["fitness_ms"] += (time.perf_counter() - t0) * 1000.0
+        return out
 
     # ------------------------------------------------------------------
     # Operators
@@ -265,6 +331,7 @@ class GeneticOptimizer:
 
     def _repair(self, population: np.ndarray) -> np.ndarray:
         """Apply type groups, per-job caps, capacities, and interference."""
+        t0 = time.perf_counter()
         pop = population.copy()
         if self.problem.num_types > 1:
             self._repair_type_groups(pop)
@@ -272,6 +339,7 @@ class GeneticOptimizer:
         self._repair_capacity(pop)
         if self.problem.forbid_interference:
             self._repair_interference(pop)
+        self.phase_ms["repair_ms"] += (time.perf_counter() - t0) * 1000.0
         return pop
 
     def _repair_type_groups(self, pop: np.ndarray) -> None:
@@ -405,6 +473,7 @@ class GeneticOptimizer:
         The returned population (sorted by descending fitness) can bootstrap
         the next scheduling round.
         """
+        self._reset_timings()
         if self.problem.num_jobs == 0:
             empty = np.zeros((0, self.problem.num_nodes), dtype=np.int64)
             return empty, 0.0, np.zeros(
@@ -413,16 +482,21 @@ class GeneticOptimizer:
             )
 
         population = self.seed_population(initial)
-        fitness = self.problem.fitness(population)
+        fitness = self._timed_fitness(population)
 
         for _ in range(self.config.generations):
+            t0 = time.perf_counter()
             mutated = self._mutate(population)
+            self.phase_ms["mutate_ms"] += (time.perf_counter() - t0) * 1000.0
             mutated = self._repair(mutated)
-            mutated_fitness = self.problem.fitness(mutated)
+            mutated_fitness = self._timed_fitness(mutated)
+            t0 = time.perf_counter()
             offspring = self._crossover(mutated, mutated_fitness)
+            self.phase_ms["select_ms"] += (time.perf_counter() - t0) * 1000.0
             offspring = self._repair(offspring)
-            offspring_fitness = self.problem.fitness(offspring)
+            offspring_fitness = self._timed_fitness(offspring)
 
+            t0 = time.perf_counter()
             pool = np.concatenate([population, mutated, offspring])
             pool_fitness = np.concatenate(
                 [fitness, mutated_fitness, offspring_fitness]
@@ -431,6 +505,306 @@ class GeneticOptimizer:
             keep = order[: self.config.population_size]
             population = pool[keep]
             fitness = pool_fitness[keep]
+            self.phase_ms["select_ms"] += (time.perf_counter() - t0) * 1000.0
 
         best_idx = int(np.argmax(fitness))
         return population[best_idx].copy(), float(fitness[best_idx]), population
+
+
+class GeneticOptimizerV2(GeneticOptimizer):
+    """Fully population-vectorized GA engine (``"v2"``).
+
+    Differences from the legacy engine, all benchmarked in
+    ``benchmarks/bench_ga_engines.py``:
+
+    - **Vectorized repair.**  Job-cap and capacity repair remove each
+      violating row's/column's excess in one batched pass: the excess is
+      split proportionally to the entry counts with the fractional
+      remainder rounded by random priorities (randomized largest-remainder
+      rounding), instead of per-violation hypergeometric draws.
+      Interference repair runs node-major passes batched over the whole
+      population — every member's first violating node keeps one uniformly
+      random distributed job — with the distributed set recomputed between
+      passes (see :meth:`_repair_interference` for why single-pass
+      resolution over-removes).
+    - **Same search structure as legacy, batched.**  Each generation
+      mutates the population, scores the repaired mutants, and recombines
+      tournament winners *of the mutants* — the explore-then-recombine
+      order matters (crossover of two good mutants assembles coordinated
+      multi-job reallocation moves; elite-crossover variants measurably
+      cost avg JCT on saturated traces).  Selection keeps legacy's stable
+      sort: on fitness ties the earlier pool member wins, so an
+      equally-fit incumbent (restart-free) allocation is never displaced
+      by a reshuffled twin — with arbitrary tie-breaking that churn alone
+      cost several percent avg JCT.
+    - **Warm start.**  The seed population pads with mutated neighbors of
+      the *best known* matrix (the previous round's winner when a bootstrap
+      population is given) rather than copies of the current allocations,
+      and ``GAConfig.patience > 0`` (default 5) early-exits once the best
+      fitness has plateaued for that many generations — warm-started
+      rounds finish in a few generations, cold starts run their budget.
+
+    The engine is deterministic under a fixed seed but produces a
+    *different* decision stream than legacy — equivalence is held by
+    seed-averaged JCT parity on the fig-6 trace (±2%), not bit-identity.
+    """
+
+    def _mutate(self, population: np.ndarray) -> np.ndarray:
+        """Same operator as legacy, with a scalar-bound RNG fast path.
+
+        On uniform-capacity clusters ``Generator.integers`` with a scalar
+        upper bound is substantially cheaper than the broadcast-array
+        bound; the draw distribution is identical, only the stream differs
+        (which the v2 engine is free to do).
+        """
+        caps = self.problem.capacities
+        if caps.size == 0 or caps.min() != caps.max():
+            return super()._mutate(population)
+        prob = 1.0 / max(self.problem.num_nodes, 1)
+        shape = population.shape
+        mask = self.rng.random(shape) < prob
+        random_vals = self.rng.integers(0, int(caps[0]) + 1, size=shape)
+        return np.where(mask, random_vals, population)
+
+    # ------------------------------------------------------------------
+    # Vectorized repair
+    # ------------------------------------------------------------------
+
+    def _batched_remove(
+        self, counts: np.ndarray, excess: np.ndarray
+    ) -> np.ndarray:
+        """Removal matrix taking ``excess[i]`` units from row ``counts[i]``.
+
+        The removal is proportional to the counts with the fractional
+        remainder assigned by random priorities among the rounded-down
+        entries, so every entry with mass can shed GPUs and the expected
+        removal per entry matches the uniform-without-replacement repair in
+        distribution shape (exactly proportional mean, randomized
+        remainder).  Guarantees ``0 <= removal <= counts`` and
+        ``removal.sum(1) >= excess`` row-wise (equality except in
+        pathological float-rounding corners, where a deterministic top-up
+        keeps the constraint satisfied).
+        """
+        c = counts.astype(float)
+        total = c.sum(axis=1)
+        ideal = np.minimum(excess[:, None] * (c / total[:, None]), c)
+        base = np.floor(ideal)
+        frac = ideal - base
+        base = base.astype(np.int64)
+        extra = excess - base.sum(axis=1)  # (V,)
+        # Random priority among entries with a fractional share; entries
+        # with frac == 0 sort last and are never picked (there are always
+        # at least `extra` fractional entries, since the fracs sum to it).
+        keys = np.where(frac > 0.0, self.rng.random(c.shape), -1.0)
+        order = np.argsort(-keys, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        v_idx = np.arange(order.shape[0])[:, None]
+        ranks[v_idx, order] = np.arange(order.shape[1])[None, :]
+        removal = base + ((ranks < extra[:, None]) & (frac > 0.0))
+        # Float-rounding safety net: top up any row still short of its
+        # excess from the entries with the most remaining mass.  Never
+        # triggers for exact arithmetic; bounded by the residual deficit.
+        deficit = excess - removal.sum(axis=1)
+        while np.any(deficit > 0):
+            rows = np.where(deficit > 0)[0]
+            headroom = counts[rows] - removal[rows]
+            pick = np.argmax(headroom, axis=1)
+            removal[rows, pick] += 1
+            deficit[rows] -= 1
+        return removal
+
+    def _repair_job_caps(self, pop: np.ndarray) -> None:
+        """Batched removal of each over-cap row's excess GPUs."""
+        totals = pop.sum(axis=-1)
+        excess = totals - self.problem.max_gpus[None, :]
+        where_p, where_j = np.where(excess > 0)
+        if len(where_p) == 0:
+            return
+        rows = pop[where_p, where_j]  # (V, N)
+        removal = self._batched_remove(rows, excess[where_p, where_j])
+        pop[where_p, where_j] = rows - removal
+
+    def _repair_capacity(self, pop: np.ndarray) -> None:
+        """Batched removal of each over-capacity column's excess GPUs."""
+        used = pop.sum(axis=1)  # (P, N)
+        excess = used - self.problem.capacities[None, :]
+        where_p, where_n = np.where(excess > 0)
+        if len(where_p) == 0:
+            return
+        cols = pop[where_p, :, where_n]  # (V, J)
+        removal = self._batched_remove(cols, excess[where_p, where_n])
+        pop[where_p, :, where_n] = cols - removal
+
+    def _repair_interference(self, pop: np.ndarray) -> None:
+        """Node-major interference resolution, batched over the population.
+
+        Each pass picks every member's *first* still-violating node, keeps
+        one of its distributed jobs (uniformly at random via
+        max-of-iid-uniform keys), and drops the others from that node — all
+        members at once.  The distributed-job set is recomputed between
+        passes, so a job that fell to a single node stops being evicted
+        elsewhere: resolving everything in one pass from the *pre-repair*
+        distributed set over-removes (a job conflicted at several nodes
+        would lose all of them at once), which measurably under-allocates
+        saturated clusters.  At most one pass per node, each a handful of
+        array reductions.
+        """
+        num_members, _, num_nodes = pop.shape
+        member_idx = np.arange(num_members)
+        for _ in range(num_nodes):
+            present = pop > 0
+            dist = present.sum(axis=-1) >= 2  # (P, J)
+            dist_present = present & dist[:, :, None]  # (P, J, N)
+            violating = dist_present.sum(axis=1) >= 2  # (P, N)
+            if not violating.any():
+                return
+            first_n = np.argmax(violating, axis=1)  # (P,)
+            rows = np.where(violating[member_idx, first_n])[0]
+            candidates = dist_present[rows, :, first_n[rows]]  # (V, J)
+            keys = np.where(candidates, self.rng.random(candidates.shape), -1.0)
+            keep = np.argmax(keys, axis=1)
+            drop = candidates
+            drop[np.arange(len(rows)), keep] = False
+            cols = pop[rows, :, first_n[rows]]
+            cols[drop] = 0
+            pop[rows, :, first_n[rows]] = cols
+
+    # ------------------------------------------------------------------
+    # Warm start and main loop
+    # ------------------------------------------------------------------
+
+    def seed_population(
+        self, initial: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Seed from the current allocations plus the previous round's best.
+
+        Member 0 is always the current allocation matrix (the restart-free
+        candidate).  A bootstrap population contributes its members next —
+        it arrives fitness-sorted, so member 1 is the previous round's best
+        allocation.  Any remaining slots are mutated neighbors of the best
+        known matrix, which concentrates the initial population around the
+        incumbent solution so warm-started rounds plateau (and early-exit)
+        quickly.
+        """
+        p_size = self.config.population_size
+        num_jobs = self.problem.num_jobs
+        num_nodes = self.problem.num_nodes
+        members: List[np.ndarray] = [self.problem.current.copy()]
+        anchor = self.problem.current
+        if initial is not None:
+            init = np.asarray(initial, dtype=np.int64)
+            if init.ndim != 3 or init.shape[1:] != (num_jobs, num_nodes):
+                raise ValueError(
+                    f"initial population has shape {init.shape}, expected "
+                    f"(*, {num_jobs}, {num_nodes})"
+                )
+            if len(init):
+                anchor = init[0]
+                members.extend(init[: p_size - 1])
+        fill = p_size - len(members)
+        if fill > 0:
+            neighbors = np.repeat(anchor[None], fill, axis=0)
+            members.append(self._mutate(neighbors).reshape(fill, num_jobs, num_nodes))
+            pop = np.concatenate(
+                [np.stack(members[:-1]), members[-1]]
+            ).astype(np.int64)
+        else:
+            pop = np.stack(members[:p_size]).astype(np.int64)
+        return self._repair(pop)
+
+    def run(
+        self, initial: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, float, np.ndarray]:
+        """Run the v2 GA; returns (best matrix, best fitness, population).
+
+        The returned population is fitness-sorted descending, so element 0
+        of the next round's bootstrap is this round's best allocation.
+        """
+        self._reset_timings()
+        if self.problem.num_jobs == 0:
+            empty = np.zeros((0, self.problem.num_nodes), dtype=np.int64)
+            return empty, 0.0, np.zeros(
+                (self.config.population_size, 0, self.problem.num_nodes),
+                dtype=np.int64,
+            )
+
+        p_size = self.config.population_size
+        population = self.seed_population(initial)
+        fitness = self._timed_fitness(population)
+        t0 = time.perf_counter()
+        order = np.argsort(-fitness, kind="stable")
+        population = population[order]
+        fitness = fitness[order]
+        self.phase_ms["select_ms"] += (time.perf_counter() - t0) * 1000.0
+
+        best_fitness = float(fitness[0])
+        stall = 0
+        for _ in range(self.config.generations):
+            # Legacy's generation structure — mutate the population, score
+            # the repaired mutants, then recombine tournament winners *of
+            # the mutants* — with every step batched.  The
+            # explore-then-recombine order matters: crossover of two good
+            # mutants assembles coordinated multi-job reallocation moves
+            # (take GPUs from one job, give to another) that crossover of
+            # near-identical elites cannot, and saturated clusters are
+            # exactly where such moves pay (benchmarked: elite-crossover
+            # variants cost several percent avg JCT on overloaded traces).
+            t0 = time.perf_counter()
+            mutated = self._mutate(population)
+            self.phase_ms["mutate_ms"] += (time.perf_counter() - t0) * 1000.0
+            mutated = self._repair(mutated)
+            mutated_fitness = self._timed_fitness(mutated)
+            t0 = time.perf_counter()
+            offspring = self._crossover(mutated, mutated_fitness)
+            self.phase_ms["select_ms"] += (time.perf_counter() - t0) * 1000.0
+            offspring = self._repair(offspring)
+            offspring_fitness = self._timed_fitness(offspring)
+
+            t0 = time.perf_counter()
+            pool = np.concatenate([population, mutated, offspring])
+            pool_fitness = np.concatenate(
+                [fitness, mutated_fitness, offspring_fitness]
+            )
+            # Stable sort, like legacy: on fitness ties the *earlier* pool
+            # member wins, so an equally-fit incumbent (restart-free)
+            # allocation is never displaced by a reshuffled twin.
+            keep = np.argsort(-pool_fitness, kind="stable")[:p_size]
+            population = pool[keep]
+            fitness = pool_fitness[keep]
+            self.phase_ms["select_ms"] += (time.perf_counter() - t0) * 1000.0
+
+            if self.config.patience > 0:
+                if float(fitness[0]) > best_fitness + 1e-12:
+                    best_fitness = float(fitness[0])
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= self.config.patience:
+                        break
+            else:
+                best_fitness = float(fitness[0])
+
+        return population[0].copy(), float(fitness[0]), population
+
+
+#: Engine name -> optimizer class; ``PolluxSchedConfig.ga_engine`` keys this.
+GA_ENGINES = {
+    "legacy": GeneticOptimizer,
+    "v2": GeneticOptimizerV2,
+}
+
+
+def make_optimizer(
+    engine: str,
+    problem: AllocationProblem,
+    config: GAConfig = GAConfig(),
+    rng: Optional[np.random.Generator] = None,
+) -> GeneticOptimizer:
+    """Instantiate a GA engine by name (``"legacy"`` or ``"v2"``)."""
+    try:
+        cls = GA_ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown GA engine {engine!r}; known: {sorted(GA_ENGINES)}"
+        ) from None
+    return cls(problem, config, rng=rng)

@@ -16,18 +16,39 @@ scheduling rounds to bootstrap the next optimization (Sec. 4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..cluster.spec import ClusterSpec
 from .agent import AgentReport
-from .genetic import AllocationProblem, GAConfig, GeneticOptimizer, JobGAInfo
-from .speedup import build_speedup_table, build_typed_speedup_table
+from .genetic import (
+    GA_ENGINES,
+    AllocationProblem,
+    GAConfig,
+    GeneticOptimizer,
+    JobGAInfo,
+    make_optimizer,
+)
+from .speedup import (
+    TputCells,
+    build_speedup_table,
+    build_surfaces_batch,
+    build_tput_cells,
+    build_typed_speedup_table,
+)
 from .surfacecache import SurfaceCache
 
 __all__ = ["PolluxSchedConfig", "SchedJobInfo", "job_weight", "PolluxSched"]
+
+#: Surface-cache slots reserved per active job (see ``SurfaceCache.
+#: ensure_capacity``): one slot per distinct (exploration cap, phi) pair a
+#: job's tables are built at within a round — the round itself plus the
+#: autoscaler's binary-search probes (~log2(max_nodes) cap variants) — with
+#: headroom for cross-round reuse of unchanged reports.
+_CACHE_SLOTS_PER_JOB = 16
 
 
 @dataclass(frozen=True)
@@ -40,7 +61,17 @@ class PolluxSchedConfig:
     rebuilds every table, the pre-cache behavior); ``surface_phi_tol``
     quantizes phi in the cache key for opt-in cross-round reuse — at the
     default 0.0 the cache is keyed on exact values and scheduling decisions
-    are bit-for-bit identical to the uncached path.
+    are bit-for-bit identical to the uncached path.  ``surface_cache_size``
+    is a *floor*: each round the cache is grown to at least
+    ``_CACHE_SLOTS_PER_JOB`` entries per active job, so large job counts
+    cannot thrash the LRU (growing never changes decisions).
+
+    ``ga_engine`` selects the genetic-algorithm engine: ``"v2"`` (default)
+    is the fully vectorized engine with warm-started rounds and batched
+    table builds; ``"legacy"`` is the original engine whose decision stream
+    is pinned bit-for-bit (see :mod:`repro.core.genetic`).  The two produce
+    different but benchmarked-equivalent schedules
+    (``benchmarks/bench_ga_engines.py``).
     """
 
     restart_penalty: float = 0.25
@@ -48,6 +79,7 @@ class PolluxSchedConfig:
     gputime_thres: float = 4.0 * 3600.0  # 4 GPU-hours, in GPU-seconds
     weight_decay: float = 0.5  # lambda in Eqn. 16
     ga: GAConfig = field(default_factory=GAConfig)
+    ga_engine: str = "v2"
     table_points_per_octave: int = 16
     surface_cache_size: int = 512
     surface_phi_tol: float = 0.0
@@ -59,6 +91,11 @@ class PolluxSchedConfig:
             raise ValueError("gputime_thres must be positive")
         if self.weight_decay < 0:
             raise ValueError("weight_decay must be non-negative")
+        if self.ga_engine not in GA_ENGINES:
+            raise ValueError(
+                f"ga_engine must be one of {sorted(GA_ENGINES)}, got "
+                f"{self.ga_engine!r}"
+            )
         if self.surface_cache_size < 0:
             raise ValueError("surface_cache_size must be non-negative")
         if self.surface_phi_tol < 0:
@@ -104,9 +141,20 @@ class PolluxSched:
         self._rng = np.random.default_rng(seed)
         self._population: Optional[np.ndarray] = None
         self._population_job_ids: List[str] = []
+        #: Set by :meth:`set_cluster` on a node-layout change; the next v2
+        #: round then runs its full generation budget (patience disabled)
+        #: so allocations are re-optimized for the new layout instead of
+        #: early-exiting on a plateau of the stale warm-started population.
+        self._resized_since_round = False
         self.rounds = 0
         #: UTILITY(A) (Eqn. 17) of the last optimized allocation matrix.
         self.last_utility = 0.0
+        #: Wall-clock per phase of the last ``optimize`` round, in ms:
+        #: ``table_ms`` (speedup-table builds), the GA engine's
+        #: ``repair_ms``/``fitness_ms``/``select_ms``/``mutate_ms``, and
+        #: ``total_ms``.  Lets perf regressions localize to a phase
+        #: (recorded by ``benchmarks/bench_perf.py``).
+        self.last_phase_timings: Dict[str, float] = {}
         #: Shared speedup/batch-size surface cache (None = caching off).  An
         #: explicitly passed cache (e.g. from the scheduler owning this
         #: probe instance) wins over the config's own; see surfacecache.py.
@@ -123,13 +171,35 @@ class PolluxSched:
     # ------------------------------------------------------------------
 
     def set_cluster(self, cluster: ClusterSpec) -> None:
-        """Replace the cluster (cloud auto-scaling); resets the GA bootstrap
-        population if the node layout (count, per-node GPUs, or GPU types)
-        changed — stale populations are meaningless across a type-set
-        change."""
+        """Replace the cluster (cloud auto-scaling).
+
+        The legacy engine resets the GA bootstrap population whenever the
+        node layout (count, per-node GPUs, or GPU types) changed, as it
+        always has.  The v2 engine instead *remaps* the saved population
+        onto the new layout — dropped nodes truncate from the end, new
+        nodes start empty, exactly like the simulator reshapes live
+        allocations — so warm starts survive autoscaling resizes; only a
+        GPU-type-set change (which invalidates the per-type speedup
+        semantics) still resets it.
+        """
         if cluster.nodes != self.cluster.nodes:
-            self._population = None
-            self._population_job_ids = []
+            self._resized_since_round = True
+            if (
+                self.config.ga_engine == "legacy"
+                or self._population is None
+                or cluster.gpu_types != self.cluster.gpu_types
+            ):
+                self._population = None
+                self._population_job_ids = []
+            else:
+                old = self._population
+                keep = min(old.shape[2], cluster.num_nodes)
+                remapped = np.zeros(
+                    (old.shape[0], old.shape[1], cluster.num_nodes),
+                    dtype=np.int64,
+                )
+                remapped[:, :, :keep] = old[:, :, :keep]
+                self._population = remapped
         self.cluster = cluster
 
     def _bootstrap_population(self, job_ids: Sequence[str]) -> Optional[np.ndarray]:
@@ -146,23 +216,18 @@ class PolluxSched:
                 out[:, new_j, :] = self._population[:, old_j, :]
         return out
 
-    def build_problem(self, jobs: Sequence[SchedJobInfo]) -> AllocationProblem:
-        """Construct the GA allocation problem for one scheduling round.
-
-        Speedup tables come from the shared :class:`SurfaceCache` when one
-        is configured, so ``optimize``, ``utility``, and autoscaler probes
-        that see the same reports within a tick build each job's table at
-        most once; with caching disabled every table is rebuilt in place
-        (bit-identical values either way).
-        """
+    def _tables_legacy(
+        self,
+        jobs: Sequence[SchedJobInfo],
+        caps: Sequence[int],
+        type_speeds: np.ndarray,
+    ) -> List[np.ndarray]:
+        """Per-job table builds — the legacy engine's bit-pinned path."""
         cfg = self.config
         cache = self.surface_cache
-        total_gpus = self.cluster.total_gpus
         single_type = self.cluster.is_single_type
-        type_speeds = self.cluster.type_speeds()
-        ga_jobs: List[JobGAInfo] = []
-        for job in jobs:
-            cap = job.report.exploration_cap(total_gpus)
+        tables: List[np.ndarray] = []
+        for job, cap in zip(jobs, caps):
             if single_type:
                 # Homogeneous fast path: the seed's (K+1, 2) table, at the
                 # cluster's (single) device speed — 1.0 on the reference T4.
@@ -195,6 +260,121 @@ class PolluxSched:
                         type_speeds=type_speeds,
                         points_per_octave=cfg.table_points_per_octave,
                     )
+            tables.append(table)
+        return tables
+
+    def _tables_batched(
+        self,
+        jobs: Sequence[SchedJobInfo],
+        caps: Sequence[int],
+        type_speeds: np.ndarray,
+    ) -> List[np.ndarray]:
+        """Batched table builds — the v2 engine's path.
+
+        Cache hits are looked up per job (two-phase protocol); all misses
+        are then built in one :func:`build_surfaces_batch` pass and stored.
+        Values match the per-job builders up to pow-kernel rounding, which
+        is inside the v2 engine's benchmarked-equivalence budget.
+        """
+        cfg = self.config
+        cache = self.surface_cache
+        single_type = self.cluster.is_single_type
+        ppo = cfg.table_points_per_octave
+        speed0 = float(type_speeds[0])
+        speeds = (
+            (speed0,) if single_type else tuple(float(s) for s in type_speeds)
+        )
+        tables: List[Optional[np.ndarray]] = [None] * len(jobs)
+        # Jobs without a cached table: (index, table key, cells key, cells).
+        missing: List[tuple] = []
+        if cache is not None:
+            for idx, (job, cap) in enumerate(zip(jobs, caps)):
+                key = (
+                    cache.flat_key(job.report, cap, ppo, speed0)
+                    if single_type
+                    else cache.typed_key(job.report, cap, ppo, type_speeds)
+                )
+                entry = cache.lookup(key)
+                if entry is not None:
+                    tables[idx] = entry[0]
+                    continue
+                # Second level: phi-free throughput cells survive across
+                # rounds while only phi drifted (the steady-state case).
+                ckey = cache.cells_key(job.report, cap, ppo, speeds)
+                centry = cache.lookup(ckey)
+                cells = TputCells(*centry) if centry is not None else None
+                missing.append((idx, key, ckey, cells))
+        else:
+            missing = [(idx, None, None, None) for idx in range(len(jobs))]
+        if missing:
+            models = [jobs[idx].report.goodput_model() for idx, _, _, _ in missing]
+            miss_caps = [caps[idx] for idx, _, _, _ in missing]
+            to_build = [
+                pos for pos, (_, _, _, cells) in enumerate(missing)
+                if cells is None
+            ]
+            if to_build:
+                built_cells = build_tput_cells(
+                    [models[pos] for pos in to_build],
+                    [miss_caps[pos] for pos in to_build],
+                    points_per_octave=ppo,
+                    type_speeds=speeds,
+                )
+                for pos, cells in zip(to_build, built_cells):
+                    idx, key, ckey, _ = missing[pos]
+                    if cache is not None:
+                        # Copy out of the batch's shared backing arrays:
+                        # a cached view would pin the whole round's buffer
+                        # for as long as any one entry survives the LRU.
+                        cache.store(
+                            ckey,
+                            (
+                                cells.tput.copy(),
+                                cells.m_cells.copy(),
+                                cells.counts.copy(),
+                            ),
+                        )
+                    missing[pos] = (idx, key, ckey, cells)
+            built = build_surfaces_batch(
+                models,
+                miss_caps,
+                points_per_octave=ppo,
+                type_speeds=speeds,
+                cells=[cells for _, _, _, cells in missing],
+            )
+            for (idx, key, _, _), entry in zip(missing, built):
+                if cache is not None:
+                    entry = cache.store(key, (entry[0].copy(), entry[1].copy()))
+                tables[idx] = entry[0]
+        return tables
+
+    def build_problem(self, jobs: Sequence[SchedJobInfo]) -> AllocationProblem:
+        """Construct the GA allocation problem for one scheduling round.
+
+        Speedup tables come from the shared :class:`SurfaceCache` when one
+        is configured, so ``optimize``, ``utility``, and autoscaler probes
+        that see the same reports within a tick build each job's table at
+        most once; with caching disabled every table is rebuilt in place.
+        The cache is grown to the round's working-set size first (see
+        ``_CACHE_SLOTS_PER_JOB``).  The legacy engine builds missing tables
+        one job at a time (bit-pinned values); the v2 engine batches all
+        misses into one padded surface pass.
+        """
+        cfg = self.config
+        cache = self.surface_cache
+        total_gpus = self.cluster.total_gpus
+        type_speeds = self.cluster.type_speeds()
+        if cache is not None and jobs:
+            cache.ensure_capacity(
+                max(cfg.surface_cache_size, len(jobs) * _CACHE_SLOTS_PER_JOB)
+            )
+        caps = [job.report.exploration_cap(total_gpus) for job in jobs]
+        if cfg.ga_engine == "legacy":
+            tables = self._tables_legacy(jobs, caps, type_speeds)
+        else:
+            tables = self._tables_batched(jobs, caps, type_speeds)
+        ga_jobs: List[JobGAInfo] = []
+        for job, cap, table in zip(jobs, caps, tables):
             weight = job_weight(job.gputime, cfg.gputime_thres, cfg.weight_decay)
             ga_jobs.append(
                 JobGAInfo(
@@ -224,16 +404,35 @@ class PolluxSched:
             self._population = None
             self._population_job_ids = []
             self.last_utility = 0.0
+            self.last_phase_timings = {}
             return {}
 
+        t_start = time.perf_counter()
         problem = self.build_problem(jobs)
-        optimizer = GeneticOptimizer(problem, self.config.ga, rng=self._rng)
+        table_ms = (time.perf_counter() - t_start) * 1000.0
+        ga_config = self.config.ga
+        if self._resized_since_round:
+            # First round on a changed node layout: force the full budget
+            # (the warm-started population is tuned to the old layout and
+            # would otherwise plateau-exit before adapting, e.g. before
+            # ever occupying freshly grown nodes).
+            if ga_config.patience > 0:
+                ga_config = replace(ga_config, patience=0)
+            self._resized_since_round = False
+        optimizer = make_optimizer(
+            self.config.ga_engine, problem, ga_config, rng=self._rng
+        )
         initial = self._bootstrap_population(job_ids)
         best, _, population = optimizer.run(initial=initial)
 
         self._population = population
         self._population_job_ids = list(job_ids)
         self.last_utility = problem.utility(best)
+        self.last_phase_timings = {
+            "table_ms": table_ms,
+            **optimizer.phase_ms,
+            "total_ms": (time.perf_counter() - t_start) * 1000.0,
+        }
         return {jid: best[j].copy() for j, jid in enumerate(job_ids)}
 
     def utility(self, jobs: Sequence[SchedJobInfo], matrix: np.ndarray) -> float:

@@ -33,7 +33,7 @@ default; ``PolluxSchedConfig.surface_phi_tol`` is the operator knob.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,18 +46,27 @@ __all__ = ["SurfaceCache", "CacheStats"]
 
 
 class CacheStats:
-    """Hit/miss/eviction counters for one :class:`SurfaceCache`."""
+    """Hit/miss/eviction counters for one :class:`SurfaceCache`.
 
-    __slots__ = ("hits", "misses", "evictions")
+    ``hits``/``misses`` count *table* requests (one per job per
+    ``build_problem``); ``cells_hits``/``cells_misses`` count the v2
+    engine's second-level lookups of phi-free throughput cells, which only
+    happen after a table miss and are tracked separately so the table-level
+    hit-rate keeps meaning "tables served without any rebuild".
+    """
+
+    __slots__ = ("hits", "misses", "evictions", "cells_hits", "cells_misses")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.cells_hits = 0
+        self.cells_misses = 0
 
     @property
     def builds(self) -> int:
-        """Number of surface computations performed (== misses)."""
+        """Number of table assemblies performed (== misses)."""
         return self.misses
 
     def snapshot(self) -> Tuple[int, int, int]:
@@ -67,7 +76,8 @@ class CacheStats:
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"evictions={self.evictions})"
+            f"evictions={self.evictions}, cells_hits={self.cells_hits}, "
+            f"cells_misses={self.cells_misses})"
         )
 
 
@@ -109,6 +119,119 @@ class SurfaceCache:
         """Drop all entries (counters are preserved)."""
         self._entries.clear()
 
+    def ensure_capacity(self, maxsize: int) -> None:
+        """Grow ``maxsize`` to at least the given value (never shrinks).
+
+        PolluxSched calls this each round with a multiple of the active-job
+        count: a fixed-size LRU thrashes once a tick's working set — one
+        entry per job per distinct exploration cap, and the autoscaler's
+        binary-search probes touch several caps per job — outgrows it, at
+        which point entries are evicted before their cross-round reuse
+        (pending jobs' reports are unchanged between rounds).  Growing is
+        decision-safe: hits return bit-identical tables to the build a miss
+        would have performed.
+        """
+        if maxsize > self.maxsize:
+            self.maxsize = int(maxsize)
+
+    # ------------------------------------------------------------------
+    # Two-phase API (batched builds)
+    # ------------------------------------------------------------------
+
+    def flat_key(
+        self,
+        report: "AgentReport",
+        max_gpus: int,
+        points_per_octave: int,
+        speed: float,
+    ) -> tuple:
+        """Cache key for a single-type surface (see :meth:`get_flat`)."""
+        return (
+            "flat",
+            report.fingerprint(self.phi_tol),
+            int(max_gpus),
+            int(points_per_octave),
+            float(speed),
+        )
+
+    def typed_key(
+        self,
+        report: "AgentReport",
+        max_gpus: int,
+        points_per_octave: int,
+        type_speeds: Sequence[float],
+    ) -> tuple:
+        """Cache key for a typed surface (see :meth:`get_typed`)."""
+        return (
+            "typed",
+            report.fingerprint(self.phi_tol),
+            int(max_gpus),
+            int(points_per_octave),
+            tuple(float(s) for s in type_speeds),
+        )
+
+    def cells_key(
+        self,
+        report: "AgentReport",
+        max_gpus: int,
+        points_per_octave: int,
+        type_speeds: Sequence[float],
+    ) -> tuple:
+        """Cache key for a job's phi-free throughput cells.
+
+        Keyed on ``AgentReport.theta_fingerprint()`` — phi is deliberately
+        excluded, because the :class:`~repro.core.speedup.TputCells` it
+        identifies are phi-independent: they stay valid across every round
+        in which only the job's gradient noise scale moved, which is the
+        common case between theta_sys re-fits.
+        """
+        return (
+            "cells",
+            report.theta_fingerprint(),
+            int(max_gpus),
+            int(points_per_octave),
+            tuple(float(s) for s in type_speeds),
+        )
+
+    def lookup(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """One half of the two-phase protocol: probe without building.
+
+        Counts a hit or a miss (in the cells counters for cells keys); a
+        miss returns ``None`` and the caller is expected to compute the
+        entry (typically batched with other misses via
+        :func:`repro.core.speedup.build_surfaces_batch`) and :meth:`store`
+        it.
+        """
+        is_cells = bool(key) and key[0] == "cells"
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            if is_cells:
+                self.stats.cells_hits += 1
+            else:
+                self.stats.hits += 1
+            return entry
+        if is_cells:
+            self.stats.cells_misses += 1
+        else:
+            self.stats.misses += 1
+        return None
+
+    def store(self, key: tuple, entry: tuple) -> tuple:
+        """Insert a built entry (the other half of :meth:`lookup`).
+
+        ``entry`` is any tuple of arrays — the ``(speedup_table,
+        bsz_table)`` pair for surface keys, ``(tput, m_cells, counts)``
+        for cells keys; every array is frozen read-only on the way in.
+        """
+        for array in entry:
+            array.flags.writeable = False
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
     # ------------------------------------------------------------------
 
     def _get(
@@ -142,13 +265,7 @@ class SurfaceCache:
         Bit-identical to calling :func:`repro.core.speedup.build_surfaces`
         directly (a hit returns the very arrays a miss computed).
         """
-        key = (
-            "flat",
-            report.fingerprint(self.phi_tol),
-            int(max_gpus),
-            int(points_per_octave),
-            float(speed),
-        )
+        key = self.flat_key(report, max_gpus, points_per_octave, speed)
         return self._get(
             key,
             report,
@@ -165,13 +282,7 @@ class SurfaceCache:
         type_speeds: Sequence[float],
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Surfaces for a typed cluster: ``(max_gpus + 1, 2, T)`` pair."""
-        key = (
-            "typed",
-            report.fingerprint(self.phi_tol),
-            int(max_gpus),
-            int(points_per_octave),
-            tuple(float(s) for s in type_speeds),
-        )
+        key = self.typed_key(report, max_gpus, points_per_octave, type_speeds)
         return self._get(
             key,
             report,

@@ -61,6 +61,16 @@ class PolluxScheduler:
         """UTILITY(A) (Eqn. 17) of the last optimized allocation matrix."""
         return self.sched.last_utility
 
+    @property
+    def last_phase_timings(self) -> Dict[str, float]:
+        """Per-phase wall-clock of the last scheduling round, in ms.
+
+        Keys: ``table_ms`` (speedup-table builds), the GA engine's
+        ``repair_ms``/``fitness_ms``/``select_ms``/``mutate_ms``, and
+        ``total_ms`` (see :attr:`PolluxSched.last_phase_timings`).
+        """
+        return self.sched.last_phase_timings
+
     def current_utility(self, jobs: Sequence[SimJob]) -> float:
         """UTILITY(A) of the currently applied allocations (Eqn. 17)."""
         if not jobs:

@@ -1,0 +1,428 @@
+"""Tests for the v2 (fully vectorized) GA engine and its wiring.
+
+The v2 engine's decision stream is deliberately different from legacy's
+(benchmarked-equivalent, not bit-identical), so these tests pin what *is*
+guaranteed: determinism under a fixed seed, every repair invariant on
+random populations, warm-start behavior, plateau early-exit, and the
+engine selection plumbing through PolluxSchedConfig.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, validate_allocation_matrix
+from repro.core import (
+    GA_ENGINES,
+    AgentReport,
+    AllocationProblem,
+    GAConfig,
+    GeneticOptimizer,
+    GeneticOptimizerV2,
+    JobGAInfo,
+    PolluxSched,
+    PolluxSchedConfig,
+    SchedJobInfo,
+    make_optimizer,
+)
+from repro.workload import MODEL_ZOO
+
+
+def synthetic_table(max_gpus: int, scale: float) -> np.ndarray:
+    ks = np.arange(max_gpus + 1, dtype=float)
+    table = np.stack([np.power(ks, scale), np.power(ks, scale * 0.9)], axis=1)
+    table[0] = 0.0
+    if max_gpus >= 1:
+        table[1, 1] = 0.0
+    return table
+
+
+def make_problem(
+    cluster: ClusterSpec,
+    num_jobs: int = 3,
+    max_gpus: int = None,
+    forbid_interference: bool = True,
+) -> AllocationProblem:
+    if max_gpus is None:
+        max_gpus = cluster.total_gpus
+    jobs = [
+        JobGAInfo(
+            speedup_table=synthetic_table(max_gpus, 0.7),
+            weight=1.0,
+            max_gpus=max_gpus,
+            current_alloc=np.zeros(cluster.num_nodes, dtype=np.int64),
+            running=False,
+        )
+        for _ in range(num_jobs)
+    ]
+    return AllocationProblem(
+        cluster, jobs, forbid_interference=forbid_interference
+    )
+
+
+def make_report(model_name="resnet18-cifar10", phi=1000.0, max_gpus_seen=8):
+    profile = MODEL_ZOO[model_name]
+    return AgentReport(
+        throughput_params=profile.theta_true,
+        grad_noise_scale=phi,
+        init_batch_size=float(profile.init_batch_size),
+        limits=profile.limits,
+        max_gpus_seen=max_gpus_seen,
+    )
+
+
+def make_sched_job(job_id, num_nodes=4, phi=1000.0, alloc=None):
+    if alloc is None:
+        alloc = np.zeros(num_nodes, dtype=np.int64)
+    return SchedJobInfo(
+        job_id=job_id, report=make_report(phi=phi), current_alloc=alloc,
+        gputime=0.0,
+    )
+
+
+class TestEngineRegistry:
+    def test_known_engines(self):
+        assert set(GA_ENGINES) == {"legacy", "v2"}
+        assert GA_ENGINES["legacy"] is GeneticOptimizer
+        assert GA_ENGINES["v2"] is GeneticOptimizerV2
+
+    def test_make_optimizer(self, small_cluster, quick_ga):
+        problem = make_problem(small_cluster)
+        assert isinstance(
+            make_optimizer("v2", problem, quick_ga), GeneticOptimizerV2
+        )
+        legacy = make_optimizer("legacy", problem, quick_ga)
+        assert isinstance(legacy, GeneticOptimizer)
+        assert not isinstance(legacy, GeneticOptimizerV2)
+        with pytest.raises(ValueError):
+            make_optimizer("v3", problem, quick_ga)
+
+    def test_sched_config_validates_engine(self):
+        assert PolluxSchedConfig().ga_engine == "v2"
+        PolluxSchedConfig(ga_engine="legacy")
+        with pytest.raises(ValueError):
+            PolluxSchedConfig(ga_engine="v1")
+
+    def test_ga_config_validates_patience(self):
+        GAConfig(patience=3)
+        with pytest.raises(ValueError):
+            GAConfig(patience=-1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=4)
+        cfg = GAConfig(population_size=16, generations=10, seed=42)
+        best1, fit1, pop1 = GeneticOptimizerV2(problem, cfg).run()
+        best2, fit2, pop2 = GeneticOptimizerV2(problem, cfg).run()
+        np.testing.assert_array_equal(best1, best2)
+        np.testing.assert_array_equal(pop1, pop2)
+        assert fit1 == fit2
+
+    def test_different_seed_explores_differently(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=4)
+        pops = [
+            GeneticOptimizerV2(
+                problem, GAConfig(population_size=16, generations=10, seed=s)
+            ).run()[2]
+            for s in (0, 1)
+        ]
+        assert not np.array_equal(pops[0], pops[1])
+
+    def test_sched_level_determinism(self, small_cluster, quick_ga):
+        def run():
+            sched = PolluxSched(
+                small_cluster, PolluxSchedConfig(ga=quick_ga), seed=3
+            )
+            jobs = [make_sched_job(f"job-{i}") for i in range(4)]
+            return sched.optimize(jobs)
+
+        a, b = run(), run()
+        assert set(a) == set(b)
+        for jid in a:
+            np.testing.assert_array_equal(a[jid], b[jid])
+
+
+class TestRepairInvariants:
+    """Every constraint holds after v2 repair, for random populations."""
+
+    def _random_problem_and_pop(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(1, 7))
+        gpus = int(rng.integers(1, 5))
+        cluster = ClusterSpec.homogeneous(num_nodes, gpus)
+        num_jobs = int(rng.integers(1, 7))
+        jobs = []
+        for _ in range(num_jobs):
+            cap = int(rng.integers(1, cluster.total_gpus + 1))
+            jobs.append(
+                JobGAInfo(
+                    speedup_table=synthetic_table(cap, 0.8),
+                    weight=1.0,
+                    max_gpus=cap,
+                    current_alloc=np.zeros(num_nodes, dtype=np.int64),
+                    running=False,
+                )
+            )
+        forbid = bool(rng.integers(0, 2))
+        problem = AllocationProblem(
+            cluster, jobs, forbid_interference=forbid
+        )
+        pop = rng.integers(
+            0, 3 * gpus + 1, size=(8, num_jobs, num_nodes)
+        ).astype(np.int64)
+        return cluster, problem, pop, forbid
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_repair_satisfies_all_constraints(self, seed):
+        cluster, problem, pop, forbid = self._random_problem_and_pop(seed)
+        opt = GeneticOptimizerV2(
+            problem, GAConfig(population_size=8, generations=1, seed=seed)
+        )
+        repaired = opt._repair(pop)
+        for member in repaired:
+            assert (
+                validate_allocation_matrix(
+                    member, cluster, forbid_interference=forbid
+                )
+                == []
+            )
+        for j, job in enumerate(problem.jobs):
+            assert (repaired[:, j].sum(axis=-1) <= job.max_gpus).all()
+        # Repair only removes GPUs, never adds.
+        assert np.all(repaired <= pop)
+
+    def test_repair_preserves_feasible(self, small_cluster, quick_ga):
+        problem = make_problem(small_cluster, num_jobs=3)
+        opt = GeneticOptimizerV2(problem, quick_ga)
+        pop = np.zeros((4, 3, 4), dtype=np.int64)
+        pop[:, 0, 0] = 2
+        pop[:, 1, 1] = 2
+        np.testing.assert_array_equal(opt._repair(pop), pop)
+
+    def test_type_group_repair(self):
+        cluster = ClusterSpec.heterogeneous((("v100", 2, 4), ("t4", 2, 4)))
+        typed = np.repeat(synthetic_table(8, 0.7)[:, :, None], 2, axis=2)
+        jobs = [
+            JobGAInfo(
+                speedup_table=typed,
+                weight=1.0,
+                max_gpus=8,
+                current_alloc=np.zeros(4, dtype=np.int64),
+                running=False,
+            )
+        ]
+        problem = AllocationProblem(cluster, jobs)
+        opt = GeneticOptimizerV2(
+            problem, GAConfig(population_size=4, generations=1, seed=0)
+        )
+        pop = np.array([[[2, 0, 1, 0]]], dtype=np.int64)  # spans both types
+        repaired = opt._repair(pop)
+        type_ids = cluster.node_type_ids()
+        occupied_types = {int(t) for t, a in zip(type_ids, repaired[0, 0]) if a}
+        assert len(occupied_types) == 1
+
+    def test_interference_single_pass_resolves_all(self):
+        # A dense all-distributed population: one repair pass must leave at
+        # most one distributed job per node.
+        cluster = ClusterSpec.homogeneous(6, 4)
+        problem = make_problem(cluster, num_jobs=6)
+        opt = GeneticOptimizerV2(
+            problem, GAConfig(population_size=4, generations=1, seed=1)
+        )
+        pop = np.ones((4, 6, 6), dtype=np.int64)  # everyone everywhere
+        pop = opt._repair(pop)
+        for member in pop:
+            assert (
+                validate_allocation_matrix(
+                    member, cluster, forbid_interference=True
+                )
+                == []
+            )
+
+    def test_batched_remove_exact_and_bounded(self):
+        problem = make_problem(ClusterSpec.homogeneous(4, 4))
+        opt = GeneticOptimizerV2(
+            problem, GAConfig(population_size=4, generations=1, seed=0)
+        )
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            counts = rng.integers(0, 9, size=(12, 5))
+            counts[counts.sum(axis=1) == 0, 0] = 1
+            excess = np.array(
+                [int(rng.integers(1, c.sum() + 1)) for c in counts]
+            )
+            removal = opt._batched_remove(counts.astype(np.int64), excess)
+            assert np.all(removal >= 0)
+            assert np.all(removal <= counts)
+            np.testing.assert_array_equal(removal.sum(axis=1), excess)
+
+
+class TestWarmStart:
+    def test_population_sorted_by_fitness(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=3)
+        _, _, pop = GeneticOptimizerV2(
+            problem, GAConfig(population_size=12, generations=6, seed=0)
+        ).run()
+        fitness = problem.fitness(pop)
+        assert np.all(np.diff(fitness) <= 1e-12)
+
+    def test_rerun_with_population_never_regresses(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=3)
+        cfg = GAConfig(population_size=12, generations=6, seed=5)
+        _, fit1, pop = GeneticOptimizerV2(problem, cfg).run()
+        _, fit2, _ = GeneticOptimizerV2(problem, cfg).run(initial=pop)
+        assert fit2 >= fit1 - 1e-9
+
+    def test_warm_start_equivalence_unchanged_jobs(self, small_cluster, quick_ga):
+        """Round 2 on an unchanged job set starts from round 1's winner:
+        its allocations are at least as good, and the previous best is a
+        member of the seed population."""
+        sched = PolluxSched(
+            small_cluster, PolluxSchedConfig(ga=quick_ga), seed=0
+        )
+        jobs = [make_sched_job(f"job-{i}") for i in range(3)]
+        first = sched.optimize(jobs)
+        best_matrix = np.stack([first[f"job-{i}"] for i in range(3)])
+        np.testing.assert_array_equal(sched._population[0], best_matrix)
+        util1 = sched.last_utility
+        # Jobs keep the allocations they were just given (running now).
+        jobs2 = [
+            make_sched_job(f"job-{i}", alloc=first[f"job-{i}"])
+            for i in range(3)
+        ]
+        sched.optimize(jobs2)
+        assert sched.last_utility >= util1 - 1e-9
+
+    def test_seed_population_includes_bootstrap_best(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=2)
+        cfg = GAConfig(population_size=8, generations=2, seed=0)
+        opt = GeneticOptimizerV2(problem, cfg)
+        prev_best = np.zeros((2, 4), dtype=np.int64)
+        prev_best[0, 0] = 2
+        prev_best[1, 1] = 2
+        initial = np.repeat(prev_best[None], 3, axis=0)
+        pop = opt.seed_population(initial)
+        assert pop.shape == (8, 2, 4)
+        # Member 0 is the current allocation, member 1 the bootstrap best
+        # (both feasible here, so repair leaves them unchanged).
+        np.testing.assert_array_equal(pop[0], problem.current)
+        np.testing.assert_array_equal(pop[1], prev_best)
+
+    def test_population_survives_resize(self, small_cluster, quick_ga):
+        sched = PolluxSched(
+            small_cluster, PolluxSchedConfig(ga=quick_ga), seed=0
+        )
+        jobs = [make_sched_job(f"job-{i}") for i in range(3)]
+        sched.optimize(jobs)
+        old_pop = sched._population.copy()
+        sched.set_cluster(ClusterSpec.homogeneous(6, 4))
+        assert sched._population.shape == (old_pop.shape[0], 3, 6)
+        np.testing.assert_array_equal(sched._population[:, :, :4], old_pop)
+        # And the next round still optimizes fine.
+        allocations = sched.optimize(
+            [make_sched_job(f"job-{i}", num_nodes=6) for i in range(3)]
+        )
+        assert all(len(a) == 6 for a in allocations.values())
+
+
+class TestPatience:
+    def test_early_exit_stops_after_plateau(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=2)
+        counting = []
+
+        class Counting(GeneticOptimizerV2):
+            def _repair(self, population):
+                counting.append(1)
+                return super()._repair(population)
+
+        cfg = GAConfig(population_size=16, generations=500, seed=0, patience=4)
+        best, fitness, _ = Counting(problem, cfg).run()
+        # One repair per generation plus one for the seed population: a
+        # 500-generation budget must exit far earlier on this tiny problem.
+        assert len(counting) < 100
+        assert fitness > 0
+
+    def test_patience_zero_runs_all_generations(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=2)
+        counting = []
+
+        class Counting(GeneticOptimizerV2):
+            def _repair(self, population):
+                counting.append(1)
+                return super()._repair(population)
+
+        cfg = GAConfig(population_size=8, generations=30, seed=0, patience=0)
+        Counting(problem, cfg).run()
+        # Seed repair + two per generation (mutants, then offspring).
+        assert len(counting) == 61
+
+    def test_legacy_ignores_patience(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=2)
+        base = GAConfig(population_size=8, generations=12, seed=3)
+        with_patience = GAConfig(
+            population_size=8, generations=12, seed=3, patience=1
+        )
+        best1, fit1, pop1 = GeneticOptimizer(problem, base).run()
+        best2, fit2, pop2 = GeneticOptimizer(problem, with_patience).run()
+        np.testing.assert_array_equal(pop1, pop2)
+        assert fit1 == fit2
+
+
+class TestQuality:
+    """The v2 engine must still solve the allocation problem well."""
+
+    def test_allocates_everything_useful(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=3, max_gpus=16)
+        best, fitness, _ = GeneticOptimizerV2(
+            problem, GAConfig(population_size=30, generations=30, seed=0)
+        ).run()
+        assert (best.sum(axis=1) > 0).all()
+        assert fitness > 1.0
+
+    def test_respects_exploration_cap(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=1, max_gpus=2)
+        best, _, _ = GeneticOptimizerV2(
+            problem, GAConfig(population_size=20, generations=20, seed=0)
+        ).run()
+        assert best[0].sum() <= 2
+
+    def test_empty_problem(self, small_cluster, quick_ga):
+        problem = AllocationProblem(small_cluster, [])
+        best, fitness, pop = GeneticOptimizerV2(problem, quick_ga).run()
+        assert best.shape == (0, 4)
+        assert fitness == 0.0
+
+    def test_fitness_comparable_to_legacy(self, small_cluster):
+        problem = make_problem(small_cluster, num_jobs=4, max_gpus=8)
+        cfg = GAConfig(population_size=24, generations=20, seed=0)
+        _, fit_legacy, _ = GeneticOptimizer(problem, cfg).run()
+        _, fit_v2, _ = GeneticOptimizerV2(problem, cfg).run()
+        assert fit_v2 >= 0.9 * fit_legacy
+
+
+class TestPhaseTimings:
+    def test_optimizer_phase_ms(self, small_cluster, quick_ga):
+        problem = make_problem(small_cluster)
+        opt = GeneticOptimizerV2(problem, quick_ga)
+        opt.run()
+        assert set(opt.phase_ms) == {
+            "repair_ms", "fitness_ms", "select_ms", "mutate_ms",
+        }
+        assert all(v >= 0 for v in opt.phase_ms.values())
+        assert opt.phase_ms["repair_ms"] > 0
+
+    def test_sched_phase_timings(self, small_cluster, quick_ga):
+        for engine in ("legacy", "v2"):
+            sched = PolluxSched(
+                small_cluster,
+                PolluxSchedConfig(ga=quick_ga, ga_engine=engine),
+                seed=0,
+            )
+            sched.optimize([make_sched_job("a")])
+            timings = sched.last_phase_timings
+            for key in (
+                "table_ms", "repair_ms", "fitness_ms", "select_ms",
+                "total_ms",
+            ):
+                assert key in timings, (engine, key)
+            assert timings["total_ms"] > 0

@@ -303,7 +303,12 @@ class TestTableBatchTuning:
 
     def test_sim_config_validates_batch_tuning(self):
         with pytest.raises(ValueError):
-            SimConfig(batch_tuning="golden")
+            SimConfig(batch_tuning="grid-search")
+        # "golden" and "search" are aliases for the golden-section escape
+        # hatch; "table" is the default.
+        assert SimConfig().batch_tuning == "table"
+        SimConfig(batch_tuning="golden")
+        SimConfig(batch_tuning="search")
 
     def test_table_mode_simulation_close_to_search(self):
         """End-to-end: table-driven tuning tracks the search-mode JCTs."""
@@ -398,3 +403,111 @@ class TestBatchSizeTableLookups:
             )
             g_table = model.goodput_scalar(nodes, k, m_table)
             assert g_table >= 0.995 * g_grid
+
+
+class TestCacheSizing:
+    """Regression tests for surface-cache thrashing (the PR-2 baseline
+    recorded 3154 evictions against 57 hits at the fixed 512-entry default:
+    a tick's working set outgrew the LRU, evicting entries before their
+    cross-round reuse)."""
+
+    def test_ensure_capacity_grows_never_shrinks(self):
+        cache = SurfaceCache(maxsize=4)
+        cache.ensure_capacity(100)
+        assert cache.maxsize == 100
+        cache.ensure_capacity(10)
+        assert cache.maxsize == 100
+
+    def test_build_problem_autosizes_to_job_count(self):
+        cluster = ClusterSpec.homogeneous(4, 4)
+        sched = PolluxSched(
+            cluster,
+            PolluxSchedConfig(
+                ga=GAConfig(population_size=8, generations=2),
+                surface_cache_size=8,
+            ),
+            seed=0,
+        )
+        assert sched.surface_cache.maxsize == 8
+        jobs = [_job(f"j{i}", _report(phi=10.0 + i), 4) for i in range(40)]
+        sched.build_problem(jobs)
+        assert sched.surface_cache.maxsize >= 40 * 16
+
+    @pytest.mark.parametrize("engine", ["legacy", "v2"])
+    def test_steady_state_hit_rate_exceeds_miss_rate(self, engine):
+        """Rounds over a steady job set (reports unchanged between rounds,
+        as for pending jobs or between agent refits) must be cache-hit
+        dominated: hit-rate > miss-rate."""
+        cluster = ClusterSpec.homogeneous(4, 4)
+        config = PolluxSchedConfig(
+            ga=GAConfig(population_size=8, generations=2),
+            ga_engine=engine,
+        )
+        sched = PolluxSched(cluster, config, seed=0)
+        jobs = [_job(f"j{i}", _report(phi=25.0 * (i + 1)), 4) for i in range(20)]
+        matrix = np.zeros((20, 4), dtype=np.int64)
+        for _ in range(4):
+            sched.optimize(jobs)
+            sched.utility(jobs, matrix)
+        stats = sched.surface_cache.stats
+        assert stats.hits > stats.misses, stats
+        assert stats.evictions == 0, stats
+
+    def test_drifting_phi_reuses_tput_cells(self):
+        """The v2 engine's second-level cache: when only phi moves between
+        rounds (every simulator tick), the phi-free throughput cells hit
+        even though the full-table key misses."""
+        cluster = ClusterSpec.homogeneous(4, 4)
+        sched = PolluxSched(
+            cluster,
+            PolluxSchedConfig(ga=GAConfig(population_size=8, generations=2)),
+            seed=0,
+        )
+        for round_idx in range(4):
+            jobs = [
+                _job(f"j{i}", _report(phi=25.0 * (i + 1) + round_idx), 4)
+                for i in range(10)
+            ]
+            sched.optimize(jobs)
+        stats = sched.surface_cache.stats
+        # Rounds 2-4: full-table keys miss (phi moved) but the cells keys
+        # hit, so no throughput surface is re-evaluated after round 1.
+        assert stats.misses == 40  # every round's tables re-assembled
+        assert stats.cells_hits >= 30, stats
+        assert stats.cells_misses == 10, stats  # built in round 1 only
+        # All 10 jobs share one theta_sys here, so their cells collapse
+        # onto a single cache entry.
+        cells_entries = [
+            k for k in sched.surface_cache._entries if k[0] == "cells"
+        ]
+        assert len(cells_entries) == 1
+
+    def test_tput_cells_give_identical_tables(self):
+        """Tables assembled from cached cells match tables built fresh."""
+        cluster = ClusterSpec.homogeneous(4, 4)
+
+        def tables_for(sched, phi_offset):
+            jobs = [
+                _job(f"j{i}", _report(phi=40.0 + 13 * i + phi_offset), 4)
+                for i in range(6)
+            ]
+            problem = sched.build_problem(jobs)
+            return problem.tables.copy()
+
+        warm = PolluxSched(
+            cluster,
+            PolluxSchedConfig(ga=GAConfig(population_size=8, generations=2)),
+            seed=0,
+        )
+        tables_for(warm, 0.0)  # populate the cells cache
+        from_cells = tables_for(warm, 7.5)  # phi moved: assemble from cells
+        cold = PolluxSched(
+            cluster,
+            PolluxSchedConfig(
+                ga=GAConfig(population_size=8, generations=2),
+                surface_cache_size=0,
+            ),
+            seed=0,
+        )
+        fresh = tables_for(cold, 7.5)
+        np.testing.assert_array_equal(from_cells, fresh)
