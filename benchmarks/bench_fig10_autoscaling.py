@@ -15,14 +15,9 @@ import dataclasses
 
 import numpy as np
 
+import repro.policy
 from repro.cluster import ClusterSpec
 from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
-from repro.schedulers import (
-    OrElasticAutoscaler,
-    OrElasticScheduler,
-    PolluxAutoscalerHook,
-    PolluxScheduler,
-)
 from repro.sim import SimConfig, Simulator
 from repro.workload import MODEL_ZOO, JobSpec
 
@@ -55,38 +50,35 @@ def run_fig10():
     )
     results = {}
     cluster = ClusterSpec.homogeneous(1, 4)
-    pollux = PolluxScheduler(
-        cluster,
-        PolluxSchedConfig(
+    pollux = repro.policy.create(
+        "pollux",
+        cluster=cluster,
+        config=PolluxSchedConfig(
             ga=GAConfig(
                 population_size=SCALE.ga_population,
                 generations=SCALE.ga_generations,
             )
         ),
-    )
-    results["pollux"] = Simulator(
-        cluster,
-        pollux,
-        [_job()],
-        config,
-        autoscaler=PolluxAutoscalerHook(
-            AutoscaleConfig(
-                min_nodes=1,
-                max_nodes=MAX_NODES,
-                low_util_thres=0.45,
-                high_util_thres=0.75,
-            ),
-            interval=600.0,
+        autoscale=AutoscaleConfig(
+            min_nodes=1,
+            max_nodes=MAX_NODES,
+            low_util_thres=0.45,
+            high_util_thres=0.75,
         ),
-    ).run()
+        autoscale_interval=600.0,
+    )
+    results["pollux"] = Simulator(cluster, pollux, [_job()], config).run()
     results["or-etal"] = Simulator(
         ClusterSpec.homogeneous(1, 4),
-        OrElasticScheduler(),
+        repro.policy.create(
+            "orelastic",
+            autoscale=True,
+            min_nodes=1,
+            max_nodes=MAX_NODES,
+            autoscale_interval=1200.0,
+        ),
         [_job()],
         config,
-        autoscaler=OrElasticAutoscaler(
-            min_nodes=1, max_nodes=MAX_NODES, interval=1200.0
-        ),
     ).run()
     return results
 

@@ -52,7 +52,7 @@ if __name__ == "__main__":  # script mode: make src/ and benchmarks/ importable
 
 from repro.cluster import ClusterSpec
 from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
-from repro.schedulers import PolluxAutoscalerHook, PolluxScheduler
+import repro.policy
 from repro.sim import SimConfig, Simulator
 from repro.workload import TraceConfig, generate_trace
 
@@ -141,21 +141,29 @@ def run_trace(
         )
     )
     sched_config = _sched_config(engine)
-    scheduler = PolluxScheduler(cluster, sched_config, seed=sched_seed)
-    autoscaler = None
+    policy_kwargs = {}
     if scenario == "autoscale":
-        autoscaler = PolluxAutoscalerHook(
-            AutoscaleConfig(min_nodes=1, max_nodes=SCALE.num_nodes * 2),
-            interval=600.0,
-            sched_config=sched_config,
+        policy_kwargs = dict(
+            autoscale=AutoscaleConfig(min_nodes=1, max_nodes=SCALE.num_nodes * 2),
+            autoscale_interval=600.0,
+            # The null-calibration protocol varies only the scheduler's GA
+            # seed; the autoscaler probe seed stays at the production 0
+            # (matching the pre-Policy-API hook construction).
+            autoscale_seed=0,
         )
+    scheduler = repro.policy.create(
+        "pollux",
+        cluster=cluster,
+        config=sched_config,
+        seed=sched_seed,
+        **policy_kwargs,
+    )
     sim_kwargs = {} if batch_tuning is None else {"batch_tuning": batch_tuning}
     sim = Simulator(
         cluster,
         scheduler,
         trace,
         SimConfig(seed=seed + 1000, max_hours=SCALE.max_hours, **sim_kwargs),
-        autoscaler=autoscaler,
     )
     t0 = time.perf_counter()
     result = sim.run()

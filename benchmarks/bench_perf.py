@@ -39,6 +39,7 @@ if __name__ == "__main__":  # script mode: make src/ and benchmarks/ importable
     sys.path.insert(0, str(_repo / "src"))
     sys.path.insert(0, str(_repo))
 
+import repro.policy
 from repro.cluster import ClusterSpec
 from repro.core import (
     AgentReport,
@@ -54,7 +55,6 @@ from repro.core.throughput import (
     ThroughputModel,
     fit_throughput_params,
 )
-from repro.schedulers import PolluxAutoscalerHook, PolluxScheduler
 from repro.sim import SimConfig, SimResult, Simulator
 from repro.workload import MODEL_ZOO, TraceConfig, generate_trace
 
@@ -260,6 +260,11 @@ def _make_sim(
     to the legacy GA engine and pairs it with golden-section tuning — the
     exact pre-v2 default configuration whose decision digests are pinned
     bit-for-bit in the committed baseline.
+
+    The policy is constructed through the :mod:`repro.policy` registry, so
+    the pinned digests gate the *Policy-API* dispatch path (snapshot
+    views, capability-driven loop, autoscaling via ``decide_resize``) —
+    the redesign's bit-for-bit claim is checked, not assumed.
     """
     cluster = ClusterSpec.homogeneous(SCALE.num_nodes, SCALE.gpus_per_node)
     trace = generate_trace(
@@ -279,21 +284,21 @@ def _make_sim(
         ),
         **sched_kwargs,
     )
-    scheduler = PolluxScheduler(cluster, sched_config)
-    autoscaler = None
+    policy_kwargs = {}
     if autoscale:
-        autoscaler = PolluxAutoscalerHook(
-            AutoscaleConfig(min_nodes=1, max_nodes=SCALE.num_nodes * 2),
-            interval=600.0,
-            sched_config=sched_config,
+        policy_kwargs = dict(
+            autoscale=AutoscaleConfig(min_nodes=1, max_nodes=SCALE.num_nodes * 2),
+            autoscale_interval=600.0,
         )
+    scheduler = repro.policy.create(
+        "pollux", cluster=cluster, config=sched_config, **policy_kwargs
+    )
     sim_kwargs = {} if batch_tuning is None else {"batch_tuning": batch_tuning}
     return Simulator(
         cluster,
         scheduler,
         trace,
         SimConfig(seed=1001, max_hours=SCALE.max_hours, **sim_kwargs),
-        autoscaler=autoscaler,
     )
 
 

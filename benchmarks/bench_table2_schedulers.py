@@ -8,38 +8,59 @@ maintaining ~91 % average statistical efficiency vs ~74 % for the baselines.
 Paper numbers (64 GPUs, 160 jobs): Pollux 1.2 h / 8.8 h p99 / 20 h makespan;
 Optimus+Oracle 1.6 / 11 / 24; Tiresias+TunedJobs 2.4 / 16 / 33.
 
+Policies are selected by :mod:`repro.policy` registry name — any registered
+policy drops into the comparison without code changes here.
+
 Run:  pytest benchmarks/bench_table2_schedulers.py --benchmark-only -s
+      python benchmarks/bench_table2_schedulers.py [--policy NAME ...]
 """
+
+import sys
+from pathlib import Path
+from typing import Dict, Sequence
+
+if __name__ == "__main__":  # script mode: make src/ and benchmarks/ importable
+    _repo = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(_repo / "src"))
+    sys.path.insert(0, str(_repo))
 
 from repro.sim import average_summaries
 
-from .common import SCALE, print_header, run_all_policies
+from benchmarks.common import (
+    DEFAULT_POLICIES,
+    SCALE,
+    print_header,
+    run_all_policies,
+)
 
-POLICIES = ("pollux", "optimus+oracle", "tiresias")
+POLICIES = DEFAULT_POLICIES
 
 
-def run_table2():
-    per_policy = {p: [] for p in POLICIES}
+def run_table2(policies: Sequence[str] = POLICIES) -> Dict[str, dict]:
+    per_policy = {p: [] for p in policies}
     for seed in SCALE.seeds:
-        results = run_all_policies(seed)
+        results = run_all_policies(seed, policies=policies)
         for policy, result in results.items():
             per_policy[policy].append(result)
     return {p: average_summaries(rs) for p, rs in per_policy.items()}
 
 
-def test_table2_scheduler_comparison(benchmark):
-    summaries = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+def print_table(summaries: Dict[str, dict]) -> None:
     print_header("Table 2: scheduling policies, ideally-tuned jobs")
     print(
         f"{'policy':<18s} {'avg JCT':>8s} {'p99 JCT':>8s} "
         f"{'makespan':>9s} {'stat.eff':>9s}"
     )
-    for policy in POLICIES:
-        s = summaries[policy]
+    for policy, s in summaries.items():
         print(
             f"{policy:<18s} {s['avg_jct_hours']:7.2f}h {s['p99_jct_hours']:7.2f}h "
             f"{s['makespan_hours']:8.2f}h {s['avg_efficiency'] * 100:8.0f}%"
         )
+
+
+def test_table2_scheduler_comparison(benchmark):
+    summaries = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print_table(summaries)
     pollux = summaries["pollux"]
     optimus = summaries["optimus+oracle"]
     tiresias = summaries["tiresias"]
@@ -72,3 +93,25 @@ def test_table2_scheduler_comparison(benchmark):
     )
     assert pollux["avg_efficiency"] >= 0.5
     assert pollux["unfinished_jobs"] == 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="registry name of a policy to run; repeatable "
+        f"(default: {', '.join(POLICIES)})",
+    )
+    args = parser.parse_args(argv)
+    policies = tuple(args.policy) if args.policy else POLICIES
+    print_table(run_table2(policies))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

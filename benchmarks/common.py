@@ -19,13 +19,20 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+import repro.policy
 from repro.cluster import ClusterSpec
 from repro.core import GAConfig, PolluxSchedConfig
-from repro.schedulers import OptimusScheduler, PolluxScheduler, TiresiasScheduler
 from repro.sim import SimConfig, SimResult, Simulator
 from repro.workload import TraceConfig, generate_trace
 
-__all__ = ["BenchScale", "SCALE", "run_policy", "run_all_policies", "print_header"]
+__all__ = [
+    "BenchScale",
+    "SCALE",
+    "DEFAULT_POLICIES",
+    "run_policy",
+    "run_all_policies",
+    "print_header",
+]
 
 
 @dataclass(frozen=True)
@@ -112,24 +119,32 @@ def make_cluster(scale: BenchScale = SCALE) -> ClusterSpec:
 
 
 def make_scheduler(policy: str, cluster: ClusterSpec, scale: BenchScale = SCALE,
-                   **pollux_kwargs):
-    """Instantiate a scheduling policy by name."""
-    if policy == "pollux":
-        return PolluxScheduler(
-            cluster,
-            PolluxSchedConfig(
+                   seed: int = 0, **pollux_kwargs):
+    """Instantiate a scheduling policy via the :mod:`repro.policy` registry.
+
+    ``policy`` is any registered name or alias (``repro.policy.
+    available()``); unknown names raise ``ValueError`` from the registry.
+    Benchmark-scale tuning rides along as registry kwargs: Pollux gets the
+    scale's GA budget (with ``pollux_kwargs`` overriding further
+    ``PolluxSchedConfig`` fields), Optimus gets the cluster-wide GPU cap.
+    """
+    kwargs: Dict[str, object] = {"cluster": cluster, "seed": seed}
+    scale_kwargs = {
+        "pollux": lambda: {
+            "config": PolluxSchedConfig(
                 ga=GAConfig(
                     population_size=scale.ga_population,
                     generations=scale.ga_generations,
                 ),
                 **pollux_kwargs,
-            ),
-        )
-    if policy == "optimus+oracle":
-        return OptimusScheduler(max_gpus_per_job=cluster.total_gpus)
-    if policy == "tiresias":
-        return TiresiasScheduler()
-    raise ValueError(f"unknown policy {policy!r}")
+            )
+        },
+        "optimus": lambda: {"max_gpus_per_job": cluster.total_gpus},
+    }
+    extra = scale_kwargs.get(repro.policy.canonical(policy))
+    if extra is not None:
+        kwargs.update(extra())
+    return repro.policy.create(policy, **kwargs)
 
 
 def run_policy(
@@ -177,14 +192,19 @@ def run_policy(
     return sim.run()
 
 
+#: Registry names of the policies the Table-2-style comparisons run.
+DEFAULT_POLICIES = ("pollux", "optimus+oracle", "tiresias")
+
+
 def run_all_policies(
     seed: int,
     scale: BenchScale = SCALE,
+    policies: Sequence[str] = DEFAULT_POLICIES,
     **kwargs,
 ) -> Dict[str, SimResult]:
     return {
         policy: run_policy(policy, seed, scale, **kwargs)
-        for policy in ("pollux", "optimus+oracle", "tiresias")
+        for policy in policies
     }
 
 

@@ -14,14 +14,9 @@ Run:  python examples/cloud_autoscaling.py [--epochs N]
 import argparse
 import dataclasses
 
+import repro.policy
 from repro.cluster import ClusterSpec
 from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
-from repro.schedulers import (
-    OrElasticAutoscaler,
-    OrElasticScheduler,
-    PolluxAutoscalerHook,
-    PolluxScheduler,
-)
 from repro.sim import SimConfig, Simulator
 from repro.workload import MODEL_ZOO, JobSpec
 
@@ -46,26 +41,30 @@ def run_policy(policy: str, job: JobSpec, max_nodes: int):
         tick_seconds=60.0,
         agent_interval=60.0,
     )
+    # Both autoscaling behaviors come from the same Policy API: the policy
+    # object owns its resize logic (decide_resize), no separate hook.
     if policy == "pollux":
-        scheduler = PolluxScheduler(
-            cluster,
-            PolluxSchedConfig(ga=GAConfig(population_size=24, generations=10)),
-        )
-        autoscaler = PolluxAutoscalerHook(
-            AutoscaleConfig(
+        scheduler = repro.policy.create(
+            "pollux",
+            cluster=cluster,
+            config=PolluxSchedConfig(ga=GAConfig(population_size=24, generations=10)),
+            autoscale=AutoscaleConfig(
                 min_nodes=1,
                 max_nodes=max_nodes,
                 low_util_thres=0.45,
                 high_util_thres=0.75,
             ),
-            interval=600.0,
+            autoscale_interval=600.0,
         )
     else:
-        scheduler = OrElasticScheduler()
-        autoscaler = OrElasticAutoscaler(
-            min_nodes=1, max_nodes=max_nodes, interval=1200.0
+        scheduler = repro.policy.create(
+            "orelastic",
+            autoscale=True,
+            min_nodes=1,
+            max_nodes=max_nodes,
+            autoscale_interval=1200.0,
         )
-    sim = Simulator(cluster, scheduler, [job], config, autoscaler=autoscaler)
+    sim = Simulator(cluster, scheduler, [job], config)
     return sim.run()
 
 

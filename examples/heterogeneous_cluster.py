@@ -10,10 +10,10 @@ Run:  python examples/heterogeneous_cluster.py [--jobs N] [--hours H]
 
 import argparse
 
+import repro.policy
 from repro.cluster import GPU_TYPES, ClusterSpec
 from repro.core import GAConfig, PolluxSchedConfig, build_typed_speedup_table
 from repro.core.throughput import project_throughput_params
-from repro.schedulers import PolluxScheduler
 from repro.sim import SimConfig, Simulator
 from repro.workload import MODEL_ZOO, TraceConfig, generate_trace, true_goodput_model
 
@@ -64,9 +64,10 @@ def main() -> None:
             max_gpus=cluster.total_gpus,
         )
     )
-    scheduler = PolluxScheduler(
-        cluster,
-        PolluxSchedConfig(ga=GAConfig(population_size=16, generations=10)),
+    scheduler = repro.policy.create(
+        "pollux",
+        cluster=cluster,
+        config=PolluxSchedConfig(ga=GAConfig(population_size=16, generations=10)),
     )
     sim = Simulator(
         cluster, scheduler, trace, SimConfig(seed=args.seed, max_hours=50.0)

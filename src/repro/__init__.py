@@ -11,13 +11,24 @@ Public API overview:
 - :mod:`repro.cluster` — nodes, cluster specs, allocation matrices.
 - :mod:`repro.workload` — the Table 1 model zoo and trace generation.
 - :mod:`repro.sim` — the discrete-time cluster simulator.
-- :mod:`repro.schedulers` — Pollux + Tiresias / Optimus+Oracle / Or et al.
+- :mod:`repro.policy` — the Policy API v1: Pollux + Tiresias /
+  Optimus+Oracle / Or et al. behind one event-driven interface, plus the
+  string-keyed registry (``repro.policy.create("pollux", ...)``).
+- :mod:`repro.schedulers` — deprecated shims over :mod:`repro.policy`.
 - :mod:`repro.training` — numpy data-parallel training substrate with real
   gradient-noise-scale measurement and AdaScale SGD.
 """
 
-from . import cluster, core, schedulers, sim, workload
+from . import cluster, core, policy, schedulers, sim, workload
 
 __version__ = "1.0.0"
 
-__all__ = ["cluster", "core", "schedulers", "sim", "workload", "__version__"]
+__all__ = [
+    "cluster",
+    "core",
+    "policy",
+    "schedulers",
+    "sim",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Policy API v1: event-driven, host-agnostic scheduling policies.
+
+This package is the repo's policy/mechanism seam (in the spirit of Blox,
+Agarwal et al.): scheduling *policies* consume frozen snapshot views and
+return decisions; *hosts* (the discrete-time simulator today, a wall-clock
+service tomorrow) own the event loop, job runtime state, profiling, and the
+application of decisions.  The four paper policies — Pollux and the
+Tiresias / Optimus+Oracle / Or-et-al baselines — plus both autoscaling
+behaviors (goodput-utility and throughput-marginal) all live behind this
+one interface, constructible by registry name::
+
+    import repro.policy
+
+    policy = repro.policy.create("pollux", cluster=cluster, seed=0)
+    sim = Simulator(cluster, policy, trace, SimConfig(seed=1))
+
+Registered names: ``pollux``, ``tiresias``, ``optimus`` (alias
+``optimus+oracle``), ``orelastic`` (alias ``or-etal``); see
+:func:`available` / :func:`describe`.
+
+Writing a new policy
+--------------------
+
+1.  **Subclass** :class:`~repro.policy.base.Policy` and declare what you
+    need from the host in a
+    :class:`~repro.policy.base.PolicyCapabilities`::
+
+        from repro.policy import (
+            Policy, PolicyCapabilities, ScheduleDecision, register,
+        )
+
+        class RandomPolicy(Policy):
+            name = "random"
+            capabilities = PolicyCapabilities()  # no agent, no autoscaling
+
+            def __init__(self, cluster=None, seed=0):
+                self.seed = seed              # every policy records seed
+                self._rng = np.random.default_rng(seed)
+
+    ``adapts_batch_size`` asks the host to let each job's agent re-tune
+    its batch size; ``needs_agent`` asks the host to profile jobs and
+    attach :class:`~repro.core.agent.AgentReport` snapshots;
+    ``autoscales`` + ``autoscale_interval`` subscribe the policy to
+    cadenced :meth:`~repro.policy.base.Policy.decide_resize` events.
+
+2.  **Implement** ``schedule(now, state)``.  ``state`` is a frozen
+    :class:`~repro.policy.views.ClusterState`: the cluster spec plus one
+    immutable :class:`~repro.policy.views.JobSnapshot` per active job
+    (write-locked allocation vectors — policies cannot mutate host
+    state).  Return a :class:`~repro.policy.base.ScheduleDecision`
+    mapping job names to per-node GPU vectors; omitted jobs keep their
+    current allocation.  Policies that fix batch sizes themselves (rather
+    than via per-job agents) return them in ``batch_sizes``; autoscaling
+    policies may bundle a ``resize`` request or answer
+    ``decide_resize``.
+
+3.  **React to lifecycle events** (optional): ``on_job_submitted`` /
+    ``on_job_completed`` fire as jobs enter and leave the active set —
+    useful for policies that keep cross-event state (queues, histories)
+    without rescanning every snapshot.
+
+4.  **Register** it so benchmarks and sweep scripts can construct it by
+    name with uniform ``cluster``/``seed`` kwargs::
+
+        register("random", RandomPolicy, description="uniform random")
+        policy = repro.policy.create("random", seed=7)
+
+    ``seed`` must be accepted (and recorded) even by deterministic
+    policies, so sweeps never silently drop the determinism knob.
+
+Decision-stream guarantees
+--------------------------
+
+The API reorders *interfaces*, not RNG streams: hosts build snapshots at
+exactly the dispatch events (reports only for ``needs_agent`` policies),
+so default-config simulations through this API are bit-for-bit identical
+to the pre-API decision streams — the legacy-engine digests in
+``BENCH_perf.json`` are CI-gated through registry-constructed policies.
+See the ROADMAP's "Policy API v1" architecture note.
+"""
+
+from .base import (
+    ClusterResizeRequest,
+    Policy,
+    PolicyCapabilities,
+    ScheduleDecision,
+)
+from .compat import LegacyAutoscalerBridge, LegacySchedulerAdapter, as_policy
+from .registry import available, canonical, create, describe, register
+from .views import ClusterState, JobSnapshot, snapshot_job, snapshot_state
+
+# Importing the policy modules registers the built-in policies.
+from .optimus import OptimusPolicy
+from .orelastic import OrElasticPolicy
+from .pollux import PolluxPolicy
+from .tiresias import TiresiasPolicy
+
+__all__ = [
+    "Policy",
+    "PolicyCapabilities",
+    "ScheduleDecision",
+    "ClusterResizeRequest",
+    "ClusterState",
+    "JobSnapshot",
+    "snapshot_job",
+    "snapshot_state",
+    "create",
+    "register",
+    "available",
+    "describe",
+    "canonical",
+    "as_policy",
+    "LegacySchedulerAdapter",
+    "LegacyAutoscalerBridge",
+    "PolluxPolicy",
+    "TiresiasPolicy",
+    "OptimusPolicy",
+    "OrElasticPolicy",
+]

@@ -1,0 +1,181 @@
+"""Adapters from the pre-Policy-API duck-typed protocols onto the Policy API.
+
+Before the Policy API, the simulator accepted any object with ``name`` /
+``adapts_batch_size`` / ``needs_agent`` attributes and a
+``schedule(now, sim_jobs, cluster) -> dict`` method, plus a separate
+autoscaler object with ``interval`` and
+``decide(now, sim_jobs, cluster, scheduler) -> int``.  These adapters let
+the simulator keep accepting such objects while its dispatch loop speaks
+only :class:`~repro.policy.base.Policy`: :func:`as_policy` wraps legacy
+objects at construction time, so no per-policy branching survives in the
+loop itself.
+
+Legacy protocol objects need the host's *live* job objects (they predate
+snapshots), so the adapters hold a ``jobs_provider`` callback supplied by
+the host.  New code should implement :class:`~repro.policy.base.Policy`
+directly; this module exists so downstream scripts and third-party
+schedulers keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Sequence
+
+from .base import (
+    ClusterResizeRequest,
+    Policy,
+    PolicyCapabilities,
+    ScheduleDecision,
+)
+from .views import ClusterState, JobSnapshot
+
+__all__ = ["as_policy", "LegacySchedulerAdapter", "LegacyAutoscalerBridge"]
+
+
+class LegacySchedulerAdapter(Policy):
+    """Wraps a duck-typed legacy scheduler (and optional legacy autoscaler).
+
+    Capabilities are lifted from the legacy loose class attributes; the
+    legacy objects are invoked with the host's live job objects from
+    ``jobs_provider`` (they predate the snapshot views).
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        autoscaler=None,
+        jobs_provider: Optional[Callable[[], Sequence]] = None,
+    ):
+        self._scheduler = scheduler
+        self._autoscaler = autoscaler
+        self._jobs = jobs_provider if jobs_provider is not None else list
+        self.name = str(getattr(scheduler, "name", type(scheduler).__name__))
+        self.seed = int(getattr(scheduler, "seed", 0))
+
+    @property
+    def capabilities(self) -> PolicyCapabilities:
+        """Lifted live from the legacy attributes on every read.
+
+        The pre-API simulator re-read ``adapts_batch_size`` /
+        ``needs_agent`` / ``autoscaler.interval`` at each dispatch, so a
+        legacy object that mutates them mid-run keeps that behavior here.
+        """
+        autoscaler = self._autoscaler
+        return PolicyCapabilities(
+            adapts_batch_size=bool(
+                getattr(self._scheduler, "adapts_batch_size", False)
+            ),
+            needs_agent=bool(getattr(self._scheduler, "needs_agent", False)),
+            autoscales=autoscaler is not None,
+            autoscale_interval=(
+                float(getattr(autoscaler, "interval", 600.0))
+                if autoscaler is not None
+                else 600.0
+            ),
+        )
+
+    def schedule(self, now: float, state: ClusterState) -> ScheduleDecision:
+        allocations = self._scheduler.schedule(
+            now, self._jobs(), state.cluster
+        )
+        return ScheduleDecision(allocations=allocations)
+
+    def decide_resize(
+        self, now: float, state: ClusterState
+    ) -> Optional[ClusterResizeRequest]:
+        if self._autoscaler is None:
+            return None
+        desired = self._autoscaler.decide(
+            now, self._jobs(), state.cluster, self._scheduler
+        )
+        return ClusterResizeRequest(
+            int(desired), getattr(self._autoscaler, "grow_node_spec", None)
+        )
+
+    @property
+    def last_utility(self) -> float:
+        return float(getattr(self._scheduler, "last_utility", 0.0))
+
+
+class LegacyAutoscalerBridge(Policy):
+    """Pairs a Policy-API policy with a legacy autoscaler protocol object.
+
+    Used when a host is handed a new-style policy but a separate old-style
+    autoscaler (the pre-API calling convention).  All scheduling and
+    lifecycle events delegate to the wrapped policy; resize decisions call
+    the legacy ``decide(now, jobs, cluster, scheduler)`` protocol with the
+    wrapped policy standing in as the ``scheduler`` argument (legacy hooks
+    read ``utility_of`` / ``sched`` from it, which the Pollux policy
+    provides).
+    """
+
+    def __init__(
+        self,
+        policy: Policy,
+        autoscaler,
+        jobs_provider: Optional[Callable[[], Sequence]] = None,
+    ):
+        self._policy = policy
+        self._autoscaler = autoscaler
+        self._jobs = jobs_provider if jobs_provider is not None else list
+        self.name = policy.name
+        self.seed = policy.seed
+
+    @property
+    def capabilities(self) -> PolicyCapabilities:
+        """The wrapped policy's capabilities plus the live hook cadence
+        (legacy autoscalers could adjust ``interval`` between events)."""
+        return replace(
+            self._policy.capabilities,
+            autoscales=True,
+            autoscale_interval=float(
+                getattr(self._autoscaler, "interval", 600.0)
+            ),
+        )
+
+    def on_job_submitted(self, now: float, job: JobSnapshot) -> None:
+        self._policy.on_job_submitted(now, job)
+
+    def on_job_completed(self, now: float, job: JobSnapshot) -> None:
+        self._policy.on_job_completed(now, job)
+
+    def schedule(self, now: float, state: ClusterState) -> ScheduleDecision:
+        return self._policy.schedule(now, state)
+
+    def decide_resize(
+        self, now: float, state: ClusterState
+    ) -> Optional[ClusterResizeRequest]:
+        desired = self._autoscaler.decide(
+            now, self._jobs(), state.cluster, self._policy
+        )
+        return ClusterResizeRequest(
+            int(desired), getattr(self._autoscaler, "grow_node_spec", None)
+        )
+
+    @property
+    def last_utility(self) -> float:
+        return self._policy.last_utility
+
+
+def as_policy(
+    scheduler,
+    autoscaler=None,
+    jobs_provider: Optional[Callable[[], Sequence]] = None,
+) -> Policy:
+    """Coerce a scheduler (new- or old-style) into a Policy.
+
+    - A :class:`Policy` without a separate autoscaler passes through.
+    - A :class:`Policy` paired with a legacy autoscaler object gets a
+      :class:`LegacyAutoscalerBridge`.
+    - A duck-typed legacy scheduler gets a :class:`LegacySchedulerAdapter`
+      (which also carries the legacy autoscaler, if any).
+
+    ``jobs_provider`` supplies the host's live job objects to the legacy
+    protocols; hosts that only ever pass Policy instances may omit it.
+    """
+    if isinstance(scheduler, Policy) or hasattr(scheduler, "capabilities"):
+        if autoscaler is None:
+            return scheduler
+        return LegacyAutoscalerBridge(scheduler, autoscaler, jobs_provider)
+    return LegacySchedulerAdapter(scheduler, autoscaler, jobs_provider)

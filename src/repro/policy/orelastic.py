@@ -1,0 +1,152 @@
+"""Or et al. baseline as a :class:`~repro.policy.base.Policy` (Sec. 5.3.3).
+
+Or, Zhang & Freedman ["Resource Elasticity in Distributed Deep Learning",
+MLSys 2020] allow the batch size to grow during training but model job
+performance with *system throughput only*.  Since throughput does not change
+with training progress, their policy scales out as soon as throughput
+scaling justifies it and then holds the cluster size constant — which is
+exactly the behaviour Fig. 10a shows, and which wastes money early in
+training when the statistical efficiency of large batches is still poor.
+
+We implement the policy for the paper's single-large-job cloud scenario:
+
+- the job always occupies the entire (current) cluster;
+- the batch size is chosen to maximize throughput (memory-capped) and
+  returned in ``ScheduleDecision.batch_sizes`` (the policy fixes batch
+  sizes itself — it does not declare ``adapts_batch_size``);
+- with ``autoscale=True``, :meth:`decide_resize` picks the largest node
+  count whose *marginal throughput scaling efficiency* stays above a
+  threshold — throughput-based autoscaling through the same Policy
+  interface that Pollux's goodput-based autoscaling uses.
+
+An oracle policy: requires snapshots with the ground-truth ``model``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.spec import ClusterSpec
+from .base import (
+    ClusterResizeRequest,
+    Policy,
+    PolicyCapabilities,
+    ScheduleDecision,
+)
+from .registry import register
+from .views import ClusterState, JobSnapshot
+
+__all__ = ["OrElasticPolicy"]
+
+
+def _throughput_optimal_bs(job: JobSnapshot, num_gpus: int) -> float:
+    """Throughput is monotone in m, so the optimum is the memory/app cap."""
+    limits = job.model.limits
+    return float(min(limits.max_batch_size, num_gpus * limits.max_local_bsz))
+
+
+def _cluster_throughput(
+    job: JobSnapshot, num_nodes: int, gpus_per_node: int
+) -> float:
+    """Throughput of the job spread across the whole cluster."""
+    num_gpus = num_nodes * gpus_per_node
+    batch_size = _throughput_optimal_bs(job, num_gpus)
+    return float(
+        job.model.throughput_true.throughput(num_nodes, num_gpus, batch_size)
+    )
+
+
+class OrElasticPolicy(Policy):
+    """Whole-cluster single-job placement at a throughput-optimal batch
+    size, with optional throughput-based autoscaling.
+
+    Args:
+        autoscale: Enables throughput-based node-count selection.
+        min_nodes / max_nodes: Cluster-size bounds for autoscaling.
+        gpus_per_node: Node shape assumed by the scaling-efficiency probe.
+        marginal_efficiency: Keep adding nodes while each additional node
+            increases throughput by at least this fraction of a perfect
+            linear increment.
+        autoscale_interval: Cadence of resize decisions, seconds.
+        cluster: Accepted for registry uniformity (unused).
+        seed: Recorded determinism knob; the policy is deterministic.
+    """
+
+    name = "or-etal"
+
+    def __init__(
+        self,
+        autoscale: bool = False,
+        min_nodes: int = 1,
+        max_nodes: int = 16,
+        gpus_per_node: int = 4,
+        marginal_efficiency: float = 0.5,
+        autoscale_interval: float = 600.0,
+        cluster: Optional[ClusterSpec] = None,
+        seed: int = 0,
+    ):
+        del cluster
+        if not (0.0 < marginal_efficiency <= 1.0):
+            raise ValueError("marginal_efficiency must be in (0, 1]")
+        if min_nodes < 1 or max_nodes < min_nodes:
+            raise ValueError("invalid node bounds")
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.gpus_per_node = gpus_per_node
+        self.marginal_efficiency = marginal_efficiency
+        self.seed = seed
+        self.capabilities = PolicyCapabilities(
+            autoscales=autoscale,
+            autoscale_interval=autoscale_interval,
+        )
+
+    def schedule(self, now: float, state: ClusterState) -> ScheduleDecision:
+        del now
+        if not state.jobs:
+            return ScheduleDecision()
+        if len(state.jobs) > 1:
+            raise ValueError(
+                "the Or-et-al policy models the single-job cloud scenario"
+            )
+        job = state.jobs[0]
+        alloc = state.cluster.capacities().astype(np.int64)
+        return ScheduleDecision(
+            allocations={job.name: alloc},
+            batch_sizes={job.name: _throughput_optimal_bs(job, int(alloc.sum()))},
+        )
+
+    def desired_nodes(self, job: JobSnapshot) -> int:
+        """Largest size whose marginal throughput gain stays efficient."""
+        per_node = _cluster_throughput(job, 1, self.gpus_per_node)
+        best = self.min_nodes
+        prev = _cluster_throughput(job, self.min_nodes, self.gpus_per_node)
+        for nodes in range(self.min_nodes + 1, self.max_nodes + 1):
+            tput = _cluster_throughput(job, nodes, self.gpus_per_node)
+            marginal = tput - prev
+            if marginal < self.marginal_efficiency * per_node:
+                break
+            best = nodes
+            prev = tput
+        return best
+
+    def decide_resize(
+        self, now: float, state: ClusterState
+    ) -> Optional[ClusterResizeRequest]:
+        del now
+        if not state.jobs:
+            return ClusterResizeRequest(self.min_nodes)
+        return ClusterResizeRequest(self.desired_nodes(state.jobs[0]))
+
+
+register(
+    "orelastic",
+    OrElasticPolicy,
+    aliases=("or-etal",),
+    description=(
+        "Throughput-only elastic baseline for the single-job cloud "
+        "scenario; autoscale=True adds throughput-based node-count "
+        "selection (Or et al., MLSys 2020)"
+    ),
+)

@@ -1,0 +1,111 @@
+"""String-keyed policy registry: ``repro.policy.create("pollux", ...)``.
+
+Benchmarks, examples, and sweep scripts construct policies through the
+registry instead of importing concrete classes, so adding a policy (or an
+alias) is one :func:`register` call — no per-policy construction branches
+anywhere downstream.
+
+Every factory accepts the two uniform keyword arguments
+
+- ``cluster``: the :class:`~repro.cluster.spec.ClusterSpec` the policy will
+  schedule (required by policies that pre-build per-cluster state, accepted
+  and ignored by stateless ones), and
+- ``seed``: the determinism knob, threaded to *every* policy — policies
+  without randomness record it anyway (see :attr:`~repro.policy.base.
+  Policy.seed`), so a sweep script's ``create(name, seed=s)`` never
+  silently drops the knob for some policies.
+
+plus policy-specific keyword arguments documented on the policy classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from .base import Policy
+
+__all__ = ["register", "create", "available", "describe", "canonical"]
+
+
+@dataclass(frozen=True)
+class _Entry:
+    name: str
+    factory: Callable[..., Policy]
+    description: str
+
+
+#: Canonical name -> entry.  Aliases map in ``_ALIASES``.
+_REGISTRY: Dict[str, _Entry] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(
+    name: str,
+    factory: Callable[..., Policy],
+    *,
+    aliases: Tuple[str, ...] = (),
+    description: str = "",
+) -> None:
+    """Register a policy factory under ``name`` (plus optional aliases).
+
+    ``factory(cluster=..., seed=..., **kwargs) -> Policy``.  Re-registering
+    a name replaces it (useful for tests); registering an alias that
+    collides with a different canonical name raises.
+    """
+    if not name:
+        raise ValueError("policy name must be non-empty")
+    key = name.lower()
+    _REGISTRY[key] = _Entry(name=key, factory=factory, description=description)
+    for alias in aliases:
+        alias_key = alias.lower()
+        existing = _ALIASES.get(alias_key)
+        if existing is not None and existing != key:
+            raise ValueError(
+                f"alias {alias!r} already points at {existing!r}"
+            )
+        if alias_key in _REGISTRY and alias_key != key:
+            raise ValueError(f"alias {alias!r} collides with a policy name")
+        _ALIASES[alias_key] = key
+
+
+def _resolve(name: str) -> _Entry:
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown policy {name!r}; registered policies: {known}"
+        ) from None
+
+
+def create(name: str, **kwargs) -> Policy:
+    """Construct a registered policy by name.
+
+    ``create("pollux", cluster=..., seed=7)`` — ``cluster`` and ``seed``
+    are uniform across all policies; further keyword arguments are
+    policy-specific (see the policy class docstrings).
+    """
+    return _resolve(name).factory(**kwargs)
+
+
+def available() -> Tuple[str, ...]:
+    """Canonical names of all registered policies, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def canonical(name: str) -> str:
+    """Resolve a name or alias to the policy's canonical registry name.
+
+    Lets callers key per-policy configuration once per policy instead of
+    once per alias (``canonical("optimus+oracle") == "optimus"``).
+    Raises ``ValueError`` for unregistered names.
+    """
+    return _resolve(name).name
+
+
+def describe(name: str) -> str:
+    """One-line description of a registered policy."""
+    return _resolve(name).description

@@ -1,0 +1,117 @@
+"""Tiresias baseline as a :class:`~repro.policy.base.Policy` (Sec. 2.3, 5.2).
+
+Tiresias [Gu et al., NSDI 2019] requires users to fix the number of GPUs at
+submission time.  It schedules with a *discretized least-attained-service*
+(LAS) discipline: jobs are grouped into priority queues by the GPU-time they
+have consumed so far (low attained service = high priority), FIFO within a
+queue.  It preempts jobs to avoid head-of-line blocking and consolidates
+each job's replicas onto as few nodes as possible.
+
+The batch size and GPU count come from the job's submitted configuration —
+Tiresias adapts neither (the "+TunedJobs" variant of Sec. 5.2 simply means
+those fixed configurations were chosen well), so its capabilities declare
+neither ``adapts_batch_size`` nor ``needs_agent``: it schedules purely from
+the :class:`~repro.policy.views.JobSnapshot` identity fields.
+
+On heterogeneous clusters, placement greedily prefers faster GPU types: a
+job is packed entirely inside the fastest type group that can host it,
+falling back to a type-straddling placement only when no single group fits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.allocation import pack_allocation_typed
+from ..cluster.spec import ClusterSpec
+from .base import Policy, PolicyCapabilities, ScheduleDecision
+from .registry import register
+from .views import ClusterState, JobSnapshot
+
+__all__ = ["TiresiasPolicy"]
+
+
+class TiresiasPolicy(Policy):
+    """Discretized 2-queue LAS with preemption and consolidation.
+
+    Args:
+        queue_thresholds_gpu_hours: Attained-service boundaries between the
+            priority queues, in GPU-hours.
+        cluster: Accepted for registry uniformity; Tiresias keeps no
+            per-cluster state (it reads the cluster from each event).
+        seed: Recorded determinism knob; Tiresias itself is deterministic.
+    """
+
+    name = "tiresias"
+    capabilities = PolicyCapabilities()
+
+    def __init__(
+        self,
+        queue_thresholds_gpu_hours: Tuple[float, ...] = (1.0, 10.0),
+        cluster: Optional[ClusterSpec] = None,
+        seed: int = 0,
+    ):
+        del cluster
+        if any(t <= 0 for t in queue_thresholds_gpu_hours):
+            raise ValueError("queue thresholds must be positive")
+        self.queue_thresholds = tuple(
+            t * 3600.0 for t in sorted(queue_thresholds_gpu_hours)
+        )
+        self.seed = seed
+
+    def _queue_index(self, job: JobSnapshot) -> int:
+        """Priority queue by attained GPU-time service (lower = higher)."""
+        for idx, threshold in enumerate(self.queue_thresholds):
+            if job.gputime < threshold:
+                return idx
+        return len(self.queue_thresholds)
+
+    def _priority_order(
+        self, jobs: Sequence[JobSnapshot]
+    ) -> List[JobSnapshot]:
+        return sorted(
+            jobs,
+            key=lambda j: (self._queue_index(j), j.submission_time, j.name),
+        )
+
+    def schedule(self, now: float, state: ClusterState) -> ScheduleDecision:
+        del now
+        cluster = state.cluster
+        free = cluster.capacities().astype(np.int64)
+        allocations = {}
+
+        for job in self._priority_order(state.jobs):
+            desired = min(job.fixed_num_gpus, cluster.total_gpus)
+            current = job.allocation
+            if (
+                int(current.sum()) == desired
+                and current.shape == free.shape
+                and np.all(current <= free)
+            ):
+                # Keep the existing placement: no needless restart.
+                allocations[job.name] = current.copy()
+                free = free - current
+                continue
+            alloc = pack_allocation_typed(cluster, desired, free)
+            if int(alloc.sum()) == desired and desired > 0:
+                allocations[job.name] = alloc
+                free = free - alloc
+            else:
+                # Not enough capacity at this priority: job waits (it may
+                # have been preempted by higher-priority jobs above).
+                allocations[job.name] = np.zeros(
+                    cluster.num_nodes, dtype=np.int64
+                )
+        return ScheduleDecision(allocations=allocations)
+
+
+register(
+    "tiresias",
+    TiresiasPolicy,
+    description=(
+        "Discretized least-attained-service baseline with preemption and "
+        "consolidation (non-adaptive; Gu et al., NSDI 2019)"
+    ),
+)

@@ -1,4 +1,19 @@
-"""Scheduling policies: Pollux and the paper's baselines."""
+"""Deprecated: scheduling policies now live in :mod:`repro.policy`.
+
+This package re-exports the old class names as shims over the Policy API —
+each shim emits a ``DeprecationWarning`` when constructed and keeps the
+pre-API calling conventions working (``schedule(now, sim_jobs, cluster)``,
+separate autoscaler hook objects).  New code should use the registry::
+
+    import repro.policy
+    policy = repro.policy.create("pollux", cluster=cluster, seed=0)
+
+Name mapping: ``PolluxScheduler`` -> ``create("pollux", cluster=...)``
+(+ ``PolluxAutoscalerHook`` -> ``autoscale=AutoscaleConfig(...)``),
+``TiresiasScheduler`` -> ``create("tiresias")``, ``OptimusScheduler`` ->
+``create("optimus")``, ``OrElasticScheduler`` + ``OrElasticAutoscaler`` ->
+``create("orelastic", autoscale=True)``.
+"""
 
 from .pollux import PolluxAutoscalerHook, PolluxScheduler
 from .optimus import OptimusScheduler

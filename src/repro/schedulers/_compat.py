@@ -1,0 +1,54 @@
+"""Shared plumbing for the deprecated ``repro.schedulers`` shim classes."""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.spec import ClusterSpec
+from ..policy.views import snapshot_state
+
+__all__ = ["warn_deprecated", "LegacySignatureMixin"]
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the shim's DeprecationWarning (at the caller's call site)."""
+    warnings.warn(
+        f"repro.schedulers.{old} is deprecated; construct policies via "
+        f"repro.policy.create({new!r}, ...) or repro.policy classes instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class LegacySignatureMixin:
+    """Adds the pre-Policy-API ``schedule(now, jobs, cluster)`` signature.
+
+    Mixed into the shim classes (which subclass the native policies): when
+    called with the legacy three-argument form — a sequence of live
+    simulator jobs plus the cluster — it builds snapshot views, delegates
+    to the Policy API, replays any policy-fixed batch sizes onto the live
+    jobs (the legacy contract mutated them in place), and returns the
+    plain allocations dict the old protocol promised.  The two-argument
+    Policy-API form passes straight through.
+    """
+
+    def schedule(
+        self,
+        now: float,
+        jobs,
+        cluster: Optional[ClusterSpec] = None,
+    ):
+        if cluster is None:
+            return super().schedule(now, jobs)
+        state = snapshot_state(
+            cluster, jobs, with_reports=self.capabilities.needs_agent
+        )
+        decision = super().schedule(now, state)
+        for job in jobs:
+            batch_size = decision.batch_sizes.get(job.name)
+            if batch_size is not None:
+                job.batch_size = float(batch_size)
+        return dict(decision.allocations)

@@ -1,81 +1,41 @@
-"""Or et al. baseline: throughput-based cloud auto-scaling (Sec. 5.3.3).
+"""Deprecated shims: Or et al. now lives at :mod:`repro.policy.orelastic`.
 
-Or, Zhang & Freedman ["Resource Elasticity in Distributed Deep Learning",
-MLSys 2020] allow the batch size to grow during training but model job
-performance with *system throughput only*.  Since throughput does not change
-with training progress, their policy scales out as soon as throughput
-scaling justifies it and then holds the cluster size constant — which is
-exactly the behaviour Fig. 10a shows, and which wastes money early in
-training when the statistical efficiency of large batches is still poor.
-
-We implement the policy for the paper's single-large-job cloud scenario:
-
-- the job always occupies the entire (current) cluster;
-- the batch size is chosen to maximize throughput (memory-capped);
-- the autoscaler picks the largest node count whose *marginal throughput
-  scaling efficiency* stays above a threshold.
+Use ``repro.policy.create("orelastic")`` (alias ``"or-etal"``), with
+``autoscale=True`` replacing the separate :class:`OrElasticAutoscaler`
+object.  The shims keep the old names and calling conventions working with
+a ``DeprecationWarning`` at construction; the legacy scheduler signature
+also replays the policy's throughput-optimal batch size onto the live jobs
+(the old contract mutated ``job.batch_size`` in place).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from ..cluster.spec import ClusterSpec
+from ..policy.orelastic import OrElasticPolicy
 from ..sim.job import SimJob
+from ._compat import LegacySignatureMixin, warn_deprecated
 
 __all__ = ["OrElasticScheduler", "OrElasticAutoscaler"]
 
 
-def _throughput_optimal_bs(job: SimJob, num_gpus: int) -> float:
-    """Throughput is monotone in m, so the optimum is the memory/app cap."""
-    limits = job.model.limits
-    return float(min(limits.max_batch_size, num_gpus * limits.max_local_bsz))
+class OrElasticScheduler(LegacySignatureMixin, OrElasticPolicy):
+    """Deprecated: use ``repro.policy.create("orelastic")``."""
 
-
-def _cluster_throughput(job: SimJob, num_nodes: int, gpus_per_node: int) -> float:
-    """Throughput of the job spread across the whole cluster."""
-    num_gpus = num_nodes * gpus_per_node
-    batch_size = _throughput_optimal_bs(job, num_gpus)
-    return float(
-        job.model.throughput_true.throughput(num_nodes, num_gpus, batch_size)
-    )
-
-
-class OrElasticScheduler:
-    """Gives the single job the whole cluster at a throughput-optimal bs."""
-
-    name = "or-etal"
-    adapts_batch_size = False  # bs is set here, by throughput, not goodput
-    needs_agent = False
-
-    def schedule(
-        self,
-        now: float,
-        jobs: Sequence[SimJob],
-        cluster: ClusterSpec,
-    ) -> Dict[str, np.ndarray]:
-        del now
-        allocations: Dict[str, np.ndarray] = {}
-        if not jobs:
-            return allocations
-        if len(jobs) > 1:
-            raise ValueError(
-                "OrElasticScheduler models the single-job cloud scenario"
-            )
-        job = jobs[0]
-        alloc = cluster.capacities().astype(np.int64)
-        job.batch_size = _throughput_optimal_bs(job, int(alloc.sum()))
-        allocations[job.name] = alloc
-        return allocations
+    def __init__(self):
+        warn_deprecated("OrElasticScheduler", "orelastic")
+        super().__init__()
 
 
 class OrElasticAutoscaler:
-    """Throughput-based node-count selection.
+    """Deprecated separate autoscaler for the legacy calling style.
 
-    Adds nodes while each additional node increases throughput by at least
-    ``marginal_efficiency`` of a perfect linear increment.
+    Use ``repro.policy.create("orelastic", autoscale=True, ...)`` instead.
+    Keeps the old ``decide(now, sim_jobs, cluster, scheduler) -> int``
+    protocol (and ``desired_nodes``) working; the node-count logic lives in
+    :class:`~repro.policy.orelastic.OrElasticPolicy`, whose oracle reads
+    duck-type against live :class:`~repro.sim.job.SimJob` objects too.
     """
 
     def __init__(
@@ -86,10 +46,15 @@ class OrElasticAutoscaler:
         marginal_efficiency: float = 0.5,
         interval: float = 600.0,
     ):
-        if not (0.0 < marginal_efficiency <= 1.0):
-            raise ValueError("marginal_efficiency must be in (0, 1]")
-        if min_nodes < 1 or max_nodes < min_nodes:
-            raise ValueError("invalid node bounds")
+        warn_deprecated("OrElasticAutoscaler", "orelastic")
+        self._policy = OrElasticPolicy(
+            autoscale=True,
+            min_nodes=min_nodes,
+            max_nodes=max_nodes,
+            gpus_per_node=gpus_per_node,
+            marginal_efficiency=marginal_efficiency,
+            autoscale_interval=float(interval),
+        )
         self.min_nodes = min_nodes
         self.max_nodes = max_nodes
         self.gpus_per_node = gpus_per_node
@@ -98,17 +63,7 @@ class OrElasticAutoscaler:
 
     def desired_nodes(self, job: SimJob) -> int:
         """Largest size whose marginal throughput gain stays efficient."""
-        per_node = _cluster_throughput(job, 1, self.gpus_per_node)
-        best = self.min_nodes
-        prev = _cluster_throughput(job, self.min_nodes, self.gpus_per_node)
-        for nodes in range(self.min_nodes + 1, self.max_nodes + 1):
-            tput = _cluster_throughput(job, nodes, self.gpus_per_node)
-            marginal = tput - prev
-            if marginal < self.marginal_efficiency * per_node:
-                break
-            best = nodes
-            prev = tput
-        return best
+        return self._policy.desired_nodes(job)
 
     def decide(
         self,

@@ -1,20 +1,27 @@
-"""Pollux scheduling policy adapter for the simulator.
+"""Deprecated shims for the pre-Policy-API Pollux adapter.
 
-Bridges the simulator's :class:`~repro.sim.simulator.Scheduler` protocol to
-:class:`~repro.core.sched.PolluxSched`, and provides the goodput-based cloud
-auto-scaling hook of Sec. 4.2.2.
+The Pollux policy now lives at :class:`repro.policy.pollux.PolluxPolicy`
+(construct it via ``repro.policy.create("pollux", cluster=...)``), with
+goodput-utility autoscaling folded into the same policy object
+(``autoscale=AutoscaleConfig(...)``).  These shims keep the old names and
+calling conventions working — including the separate
+:class:`PolluxAutoscalerHook` object and the
+``schedule(now, sim_jobs, cluster)`` signature — while emitting a
+``DeprecationWarning`` at construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..cluster.spec import ClusterSpec, NodeSpec
 from ..core.autoscale import AutoscaleConfig, UtilityAutoscaler
-from ..core.sched import PolluxSched, PolluxSchedConfig, SchedJobInfo
+from ..core.sched import PolluxSchedConfig, SchedJobInfo
+from ..policy.pollux import PolluxPolicy
 from ..sim.job import SimJob
+from ._compat import LegacySignatureMixin, warn_deprecated
 
 __all__ = ["PolluxScheduler", "PolluxAutoscalerHook"]
 
@@ -31,12 +38,8 @@ def _job_infos(jobs: Sequence[SimJob]) -> List[SchedJobInfo]:
     ]
 
 
-class PolluxScheduler:
-    """The co-adaptive Pollux policy (Sec. 4)."""
-
-    name = "pollux"
-    adapts_batch_size = True
-    needs_agent = True
+class PolluxScheduler(LegacySignatureMixin, PolluxPolicy):
+    """Deprecated: use ``repro.policy.create("pollux", cluster=...)``."""
 
     def __init__(
         self,
@@ -44,57 +47,30 @@ class PolluxScheduler:
         config: Optional[PolluxSchedConfig] = None,
         seed: int = 0,
     ):
-        self.sched = PolluxSched(cluster, config, seed=seed)
+        warn_deprecated("PolluxScheduler", "pollux")
+        super().__init__(cluster=cluster, config=config, seed=seed)
 
-    def schedule(
-        self,
-        now: float,
-        jobs: Sequence[SimJob],
-        cluster: ClusterSpec,
-    ) -> Dict[str, np.ndarray]:
-        del now
-        self.sched.set_cluster(cluster)
-        return self.sched.optimize(_job_infos(jobs))
+    def current_utility(self, jobs) -> float:
+        """UTILITY(A) of the currently applied allocations (Eqn. 17).
 
-    @property
-    def last_utility(self) -> float:
-        """UTILITY(A) (Eqn. 17) of the last optimized allocation matrix."""
-        return self.sched.last_utility
-
-    @property
-    def last_phase_timings(self) -> Dict[str, float]:
-        """Per-phase wall-clock of the last scheduling round, in ms.
-
-        Keys: ``table_ms`` (speedup-table builds), the GA engine's
-        ``repair_ms``/``fitness_ms``/``select_ms``/``mutate_ms``, and
-        ``total_ms`` (see :attr:`PolluxSched.last_phase_timings`).
+        Accepts live :class:`~repro.sim.job.SimJob` objects (the legacy
+        contract) as well as the Policy API's job snapshots.
         """
-        return self.sched.last_phase_timings
-
-    def current_utility(self, jobs: Sequence[SimJob]) -> float:
-        """UTILITY(A) of the currently applied allocations (Eqn. 17)."""
-        if not jobs:
-            return 0.0
-        matrix = np.stack([job.allocation for job in jobs])
-        return self.utility_of(_job_infos(jobs), matrix)
-
-    def utility_of(
-        self, infos: Sequence[SchedJobInfo], matrix: np.ndarray
-    ) -> float:
-        """UTILITY(A) for pre-built job snapshots (avoids re-snapshotting).
-
-        Same computation as :meth:`current_utility`; callers that already
-        hold ``SchedJobInfo`` snapshots (e.g. the autoscaler hook, which
-        needs them again for its probes) should use this to avoid building
-        every job's report twice per tick.
-        """
-        if not infos:
-            return 0.0
-        return self.sched.utility(infos, matrix)
+        jobs = list(jobs)
+        if jobs and hasattr(jobs[0], "agent"):
+            matrix = np.stack([job.allocation for job in jobs])
+            return self.utility_of(_job_infos(jobs), matrix)
+        return super().current_utility(jobs)
 
 
 class PolluxAutoscalerHook:
-    """Simulator autoscaler hook wrapping :class:`UtilityAutoscaler`.
+    """Deprecated separate autoscaler hook for the legacy calling style.
+
+    Use ``repro.policy.create("pollux", cluster=...,
+    autoscale=AutoscaleConfig(...))`` instead — autoscaling is part of the
+    Pollux policy now.  This shim keeps the old
+    ``decide(now, sim_jobs, cluster, scheduler) -> int`` protocol working
+    (the simulator bridges it onto the Policy API).
 
     Probes always evaluate resized copies of the *live* cluster (so typed
     fleets are probed with their real node shapes).  ``grow_node_spec``
@@ -111,6 +87,7 @@ class PolluxAutoscalerHook:
         seed: int = 0,
         grow_node_spec: Optional[NodeSpec] = None,
     ):
+        warn_deprecated("PolluxAutoscalerHook", "pollux")
         self.interval = float(interval)
         self.grow_node_spec = grow_node_spec
         self.autoscaler = UtilityAutoscaler(

@@ -1,88 +1,25 @@
-"""Tiresias baseline: non-resource-adaptive LAS scheduling (Sec. 2.3, 5.2).
+"""Deprecated shim: Tiresias now lives at :mod:`repro.policy.tiresias`.
 
-Tiresias [Gu et al., NSDI 2019] requires users to fix the number of GPUs at
-submission time.  It schedules with a *discretized least-attained-service*
-(LAS) discipline: jobs are grouped into priority queues by the GPU-time they
-have consumed so far (low attained service = high priority), FIFO within a
-queue.  It preempts jobs to avoid head-of-line blocking and consolidates each
-job's replicas onto as few nodes as possible.
-
-The batch size and GPU count come from the job's submitted configuration —
-Tiresias adapts neither (the "+TunedJobs" variant of Sec. 5.2 simply means
-those fixed configurations were chosen well).
-
-On heterogeneous clusters, placement greedily prefers faster GPU types: a
-job is packed entirely inside the fastest type group that can host it,
-falling back to a type-straddling placement only when no single group fits.
+Use ``repro.policy.create("tiresias")``.  The shim keeps the old class
+name and the legacy ``schedule(now, sim_jobs, cluster)`` signature working
+with a ``DeprecationWarning`` at construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Tuple
 
-import numpy as np
-
-from ..cluster.allocation import pack_allocation_typed
-from ..cluster.spec import ClusterSpec
-from ..sim.job import SimJob
+from ..policy.tiresias import TiresiasPolicy
+from ._compat import LegacySignatureMixin, warn_deprecated
 
 __all__ = ["TiresiasScheduler"]
 
 
-class TiresiasScheduler:
-    """Discretized 2-queue LAS with preemption and consolidation."""
+class TiresiasScheduler(LegacySignatureMixin, TiresiasPolicy):
+    """Deprecated: use ``repro.policy.create("tiresias")``."""
 
-    name = "tiresias"
-    adapts_batch_size = False
-    needs_agent = False
-
-    def __init__(self, queue_thresholds_gpu_hours: Tuple[float, ...] = (1.0, 10.0)):
-        if any(t <= 0 for t in queue_thresholds_gpu_hours):
-            raise ValueError("queue thresholds must be positive")
-        self.queue_thresholds = tuple(
-            t * 3600.0 for t in sorted(queue_thresholds_gpu_hours)
-        )
-
-    def _queue_index(self, job: SimJob) -> int:
-        """Priority queue by attained GPU-time service (lower = higher)."""
-        for idx, threshold in enumerate(self.queue_thresholds):
-            if job.gputime < threshold:
-                return idx
-        return len(self.queue_thresholds)
-
-    def _priority_order(self, jobs: Sequence[SimJob]) -> List[SimJob]:
-        return sorted(
-            jobs, key=lambda j: (self._queue_index(j), j.submission_time, j.name)
-        )
-
-    def schedule(
-        self,
-        now: float,
-        jobs: Sequence[SimJob],
-        cluster: ClusterSpec,
-    ) -> Dict[str, np.ndarray]:
-        del now
-        free = cluster.capacities().astype(np.int64)
-        allocations: Dict[str, np.ndarray] = {}
-
-        for job in self._priority_order(jobs):
-            desired = min(job.spec.fixed_num_gpus, cluster.total_gpus)
-            current = job.allocation
-            if (
-                int(current.sum()) == desired
-                and current.shape == free.shape
-                and np.all(current <= free)
-            ):
-                # Keep the existing placement: no needless restart.
-                allocations[job.name] = current.copy()
-                free = free - current
-                continue
-            alloc = pack_allocation_typed(cluster, desired, free)
-            if int(alloc.sum()) == desired and desired > 0:
-                allocations[job.name] = alloc
-                free = free - alloc
-            else:
-                # Not enough capacity at this priority: job waits (it may
-                # have been preempted by higher-priority jobs above).
-                allocations[job.name] = np.zeros(cluster.num_nodes, dtype=np.int64)
-        return allocations
+    def __init__(
+        self, queue_thresholds_gpu_hours: Tuple[float, ...] = (1.0, 10.0)
+    ):
+        warn_deprecated("TiresiasScheduler", "tiresias")
+        super().__init__(queue_thresholds_gpu_hours=queue_thresholds_gpu_hours)

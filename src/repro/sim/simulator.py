@@ -4,16 +4,26 @@ Reproduces the paper's simulator semantics:
 
 - jobs progress at their ground-truth goodput (throughput x statistical
   efficiency, with phi_true evolving over each job's lifetime);
-- the scheduler is invoked at a fixed interval (60 s in the paper) and each
-  job's agent re-tunes its batch size at a fixed interval (30 s);
+- the scheduling policy is invoked at a fixed interval (60 s in the paper)
+  and each job's agent re-tunes its batch size at a fixed interval (30 s);
 - every re-allocation pauses the job for a checkpoint-restart delay (30 s);
 - optional network interference slows down distributed jobs sharing a node
   (Sec. 5.3.2);
-- an optional autoscaler hook grows/shrinks the cluster (Sec. 4.2.2/5.3.3),
+- autoscaling policies grow/shrink the cluster (Sec. 4.2.2/5.3.3),
   optionally with a chosen GPU type on heterogeneous clusters;
 - on typed clusters, ground-truth goodput runs at the compute speed of the
   job's slowest allocated node, and agents record each measurement's device
   speed so fitted models project across GPU types.
+
+The simulator is a *host* for the Policy API (:mod:`repro.policy`): its
+dispatch loop speaks only :class:`~repro.policy.base.Policy` — frozen
+snapshot views in, :class:`~repro.policy.base.ScheduleDecision` out, with
+behavior differences expressed purely through
+:class:`~repro.policy.base.PolicyCapabilities` (no policy-specific
+branches).  Pre-API duck-typed schedulers and autoscaler hooks (the legacy
+:class:`Scheduler` / :class:`ClusterAutoscaler` protocols below) are still
+accepted and wrapped at construction via
+:func:`repro.policy.compat.as_policy`.
 
 Completion times are interpolated within a tick, so tick granularity does
 not quantize JCTs.
@@ -27,6 +37,9 @@ from typing import Dict, List, Optional, Protocol, Sequence
 import numpy as np
 
 from ..cluster.spec import ClusterSpec, NodeSpec
+from ..policy.base import ScheduleDecision
+from ..policy.compat import as_policy
+from ..policy.views import ClusterState, snapshot_job
 from ..workload.trace import JobSpec
 from .job import SimJob
 from .metrics import JobRecord, SimResult, TimelineSample
@@ -35,8 +48,10 @@ __all__ = ["SimConfig", "Scheduler", "ClusterAutoscaler", "Simulator"]
 
 
 class Scheduler(Protocol):
-    """Scheduling policy interface.
+    """Legacy duck-typed scheduler interface (pre-Policy-API).
 
+    Superseded by :class:`repro.policy.base.Policy`; still accepted by
+    :class:`Simulator` (wrapped via :mod:`repro.policy.compat`).
     ``schedule`` returns a mapping from job name to allocation vector for
     the *active* (submitted, unfinished) jobs; omitted jobs keep their
     current allocation.  ``adapts_batch_size`` tells the simulator whether
@@ -58,12 +73,15 @@ class Scheduler(Protocol):
 
 
 class ClusterAutoscaler(Protocol):
-    """Cloud auto-scaling hook (Sec. 4.2.2).
+    """Legacy cloud auto-scaling hook interface (pre-Policy-API).
 
-    An autoscaler may additionally expose a ``grow_node_spec`` attribute (a
+    Superseded by autoscaling policies
+    (:meth:`repro.policy.base.Policy.decide_resize`); still accepted via
+    the ``autoscaler=`` argument and bridged onto the Policy API.  An
+    autoscaler may additionally expose a ``grow_node_spec`` attribute (a
     :class:`~repro.cluster.spec.NodeSpec`): on heterogeneous clusters the
-    simulator then grows with nodes of that spec (a chosen GPU type) instead
-    of cloning the last node.
+    simulator then grows with nodes of that spec (a chosen GPU type)
+    instead of cloning the last node.
     """
 
     interval: float
@@ -129,12 +147,20 @@ class SimConfig:
 
 
 class Simulator:
-    """Drives a workload trace through a scheduling policy."""
+    """Drives a workload trace through a scheduling policy.
+
+    ``scheduler`` is normally a :class:`repro.policy.base.Policy`
+    (construct one with :func:`repro.policy.create`); legacy duck-typed
+    schedulers — optionally paired with a legacy ``autoscaler`` hook — are
+    wrapped onto the Policy API at construction.  The adapted policy is
+    available as :attr:`policy`; :attr:`scheduler` keeps the object as
+    passed.
+    """
 
     def __init__(
         self,
         cluster: ClusterSpec,
-        scheduler: Scheduler,
+        scheduler,
         jobs: Sequence[JobSpec],
         config: SimConfig = SimConfig(),
         autoscaler: Optional[ClusterAutoscaler] = None,
@@ -143,6 +169,11 @@ class Simulator:
         self.scheduler = scheduler
         self.config = config
         self.autoscaler = autoscaler
+        #: The dispatch loop speaks only the Policy API; legacy objects
+        #: are adapted here, once, at construction.
+        self.policy = as_policy(
+            scheduler, autoscaler, jobs_provider=lambda: self._active
+        )
         self._rng = np.random.default_rng(config.seed)
         node_speeds = cluster.node_speeds()
         self.jobs = [
@@ -157,7 +188,7 @@ class Simulator:
             )
         ]
         for job in self.jobs:
-            if not self.scheduler.adapts_batch_size:
+            if not self.policy.capabilities.adapts_batch_size:
                 job.batch_size = float(job.spec.fixed_batch_size)
         self.now = 0.0
         self._next_schedule = 0.0
@@ -202,14 +233,62 @@ class Simulator:
         ]
 
     def _admit_submitted(self) -> None:
-        """Move newly submitted jobs into the active list (in order)."""
+        """Move newly submitted jobs into the active list (in order).
+
+        Emits ``on_job_submitted`` lifecycle events to the policy (with
+        report-free snapshots — agent reports are attached only at
+        scheduling/autoscale dispatch events, see :func:`snapshot_job`).
+        """
         jobs = self.jobs
         idx = self._next_submit_idx
         while idx < len(jobs) and jobs[idx].submission_time <= self.now:
-            self._active.append(jobs[idx])
+            job = jobs[idx]
+            self._active.append(job)
             idx += 1
             self._alloc_version += 1
+            self.policy.on_job_submitted(self.now, snapshot_job(job))
         self._next_submit_idx = idx
+
+    def _snapshot_state(self) -> ClusterState:
+        """Frozen policy-facing view of the cluster and active jobs.
+
+        Agent reports are attached only for policies whose capabilities
+        declare ``needs_agent`` — building a report can trigger a
+        (memoized, deterministic) model fit, so the report-call schedule
+        is pinned to dispatch events to keep decision streams exact.
+        """
+        with_report = self.policy.capabilities.needs_agent
+        return ClusterState(
+            cluster=self.cluster,
+            jobs=tuple(
+                snapshot_job(job, with_report=with_report)
+                for job in self._active
+            ),
+        )
+
+    def _apply_decision(
+        self, decision: ScheduleDecision, jobs: Sequence[SimJob]
+    ) -> None:
+        """Apply one ScheduleDecision: batch sizes, allocations, resize.
+
+        Policy-fixed batch sizes land before the allocations (matching the
+        pre-API behavior where e.g. the Or-et-al scheduler set them inside
+        ``schedule``); a bundled resize request is honored last, and only
+        for policies whose capabilities declare ``autoscales``.
+        """
+        for job in jobs:
+            batch_size = decision.batch_sizes.get(job.name)
+            if batch_size is not None:
+                job.batch_size = float(batch_size)
+        self._apply_allocations(decision.allocations, jobs)
+        if (
+            decision.resize is not None
+            and self.policy.capabilities.autoscales
+        ):
+            self._resize_cluster(
+                int(decision.resize.num_nodes),
+                grow_with=decision.resize.grow_node_spec,
+            )
 
     def _alloc_matrix(self, jobs: Sequence[SimJob]) -> np.ndarray:
         """The active jobs' allocations as one (J, N) int matrix.
@@ -361,14 +440,25 @@ class Simulator:
         per-type usage, interference detection — as numpy reductions over
         one ``(J, N)`` allocation matrix that is rebuilt only when an
         allocation actually changed.
+
+        All policy dispatch goes through the Policy API: capability checks
+        decide *whether* an event fires (autoscale cadence, agent
+        profiling, batch-size tuning), never which concrete policy is
+        running.
         """
         cfg = self.config
-        result = SimResult(scheduler_name=self.scheduler.name)
+        policy = self.policy
+        result = SimResult(scheduler_name=policy.name)
         max_time = cfg.max_hours * 3600.0
         interference_on = cfg.interference_slowdown > 0.0
         self._admit_submitted()
 
         while self.now < max_time:
+            # Re-read per tick: native policies expose a static descriptor,
+            # but the legacy adapters lift capabilities live from the
+            # wrapped objects (the pre-API loop re-read those attributes at
+            # each dispatch, e.g. a hook adjusting its own interval).
+            caps = policy.capabilities
             if not self._active:
                 if self._next_submit_idx >= len(self.jobs):
                     break
@@ -389,27 +479,33 @@ class Simulator:
                     self._admit_submitted()
             active = self._active
 
-            if self.autoscaler is not None and self.now >= self._next_autoscale:
-                desired = self.autoscaler.decide(
-                    self.now, active, self.cluster, self.scheduler
+            if caps.autoscales and self.now >= self._next_autoscale:
+                request = policy.decide_resize(self.now, self._snapshot_state())
+                if request is not None:
+                    self._resize_cluster(
+                        int(request.num_nodes),
+                        grow_with=request.grow_node_spec,
+                    )
+                # Re-read the cadence after the decision (the pre-API loop
+                # read autoscaler.interval here, so a hook that adapts its
+                # own interval inside decide() is honored).
+                self._next_autoscale = (
+                    self.now + policy.capabilities.autoscale_interval
                 )
-                grow_with = getattr(self.autoscaler, "grow_node_spec", None)
-                self._resize_cluster(int(desired), grow_with=grow_with)
-                self._next_autoscale = self.now + self.autoscaler.interval
 
             # A tick may hit both the scheduling and the agent interval;
             # batch sizes are re-tuned at most once per tick.
             tuned_this_tick = False
             if self.now >= self._next_schedule:
-                allocations = self.scheduler.schedule(self.now, active, self.cluster)
-                self._apply_allocations(allocations, active)
+                decision = policy.schedule(self.now, self._snapshot_state())
+                self._apply_decision(decision, active)
                 self._next_schedule = self.now + cfg.scheduling_interval
-                if self.scheduler.adapts_batch_size:
+                if caps.adapts_batch_size:
                     self._tune_batch_sizes(active)
                     tuned_this_tick = True
 
             if self.now >= self._next_agent:
-                if self.scheduler.adapts_batch_size and not tuned_this_tick:
+                if caps.adapts_batch_size and not tuned_this_tick:
                     self._tune_batch_sizes(active)
                 self._next_agent = self.now + cfg.agent_interval
 
@@ -417,7 +513,7 @@ class Simulator:
             affected = (
                 self._interference_mask(matrix) if interference_on else None
             )
-            needs_agent = self.scheduler.needs_agent
+            needs_agent = caps.needs_agent
             for idx, job in enumerate(active):
                 slowdown = (
                     cfg.interference_slowdown
@@ -435,6 +531,11 @@ class Simulator:
             if self._alloc_cache is None or self._alloc_cache[0] != self._alloc_version:
                 # A job completed this tick (its allocation was zeroed).
                 self._active = [j for j in active if not j.complete]
+                for job in active:
+                    if job.complete:
+                        self.policy.on_job_completed(
+                            self.now, snapshot_job(job)
+                        )
                 active = self._active
                 matrix = self._alloc_matrix(active)
 
@@ -468,9 +569,7 @@ class Simulator:
                         if running_efficiencies
                         else 0.0
                     ),
-                    mean_speedup_utility=float(
-                        getattr(self.scheduler, "last_utility", 0.0)
-                    ),
+                    mean_speedup_utility=float(policy.last_utility),
                     gpu_type_names=self._type_names,
                     gpus_in_use_by_type=gpus_by_type,
                     total_gpus_by_type=self._type_caps,

@@ -170,3 +170,35 @@ class TestPostIdleAutoscale:
         ]
         for a, b in zip(post_idle, post_idle[1:]):
             assert b - a >= autoscaler.interval
+
+
+class TestLegacyAdapterLiveAttributes:
+    def test_mutated_interval_honored_each_event(self):
+        """Legacy autoscalers that adjust their own cadence mid-run keep
+        that behavior through the compat adapter (the pre-API loop re-read
+        autoscaler.interval after every decide)."""
+
+        class SlowingAutoscaler:
+            interval = 60.0
+
+            def __init__(self):
+                self.decide_times = []
+
+            def decide(self, now, jobs, cluster, scheduler):
+                self.decide_times.append(now)
+                self.interval = 300.0  # back off after the first decision
+                return cluster.num_nodes
+
+        autoscaler = SlowingAutoscaler()
+        cluster = ClusterSpec.homogeneous(2, 4)
+        sim = Simulator(
+            cluster,
+            PinnedScheduler(),
+            [spec()],
+            SimConfig(seed=0, max_hours=0.5),
+            autoscaler=autoscaler,
+        )
+        sim.run()
+        gaps = np.diff(autoscaler.decide_times)
+        assert len(gaps) >= 2
+        assert (gaps >= 300.0).all()

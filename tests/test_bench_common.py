@@ -15,10 +15,10 @@ from benchmarks.common import (  # noqa: E402
     mean_over_seeds,
     print_header,
 )
-from repro.schedulers import (  # noqa: E402
-    OptimusScheduler,
-    PolluxScheduler,
-    TiresiasScheduler,
+from repro.policy import (  # noqa: E402
+    OptimusPolicy,
+    PolluxPolicy,
+    TiresiasPolicy,
 )
 
 
@@ -51,14 +51,25 @@ class TestSchedulerFactory:
     def test_policies_instantiate(self):
         cluster = make_cluster(SCALE)
         assert isinstance(
-            make_scheduler("pollux", cluster, SCALE), PolluxScheduler
+            make_scheduler("pollux", cluster, SCALE), PolluxPolicy
         )
         assert isinstance(
-            make_scheduler("optimus+oracle", cluster, SCALE), OptimusScheduler
+            make_scheduler("optimus+oracle", cluster, SCALE), OptimusPolicy
         )
         assert isinstance(
-            make_scheduler("tiresias", cluster, SCALE), TiresiasScheduler
+            make_scheduler("tiresias", cluster, SCALE), TiresiasPolicy
         )
+
+    def test_registry_alias_and_canonical_agree(self):
+        cluster = make_cluster(SCALE)
+        assert isinstance(
+            make_scheduler("optimus", cluster, SCALE), OptimusPolicy
+        )
+
+    def test_seed_threaded_to_every_policy(self):
+        cluster = make_cluster(SCALE)
+        for name in ("pollux", "optimus+oracle", "tiresias"):
+            assert make_scheduler(name, cluster, SCALE, seed=11).seed == 11
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):

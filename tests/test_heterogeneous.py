@@ -25,8 +25,7 @@ from repro.core import (
 )
 from repro.core.agent import PolluxAgent
 from repro.core.speedup import MULTI_NODE, SINGLE_NODE
-from repro.schedulers import PolluxScheduler, TiresiasScheduler
-from repro.schedulers.pollux import PolluxAutoscalerHook
+from repro.policy import PolluxPolicy, TiresiasPolicy
 from repro.sim import SimConfig, SimJob, Simulator
 from repro.workload import TraceConfig, generate_heterogeneous_workload, generate_trace
 
@@ -130,18 +129,18 @@ class TestTypedPacking:
 
 class TestOptimusOracleNodes:
     def test_min_nodes_table_homogeneous_matches_ceil(self):
-        from repro.schedulers import OptimusScheduler
+        from repro.policy import OptimusPolicy
 
         cluster = ClusterSpec.homogeneous(4, 4)
-        table = OptimusScheduler._min_nodes_table(cluster)
+        table = OptimusPolicy._min_nodes_table(cluster)
         for k in range(1, 17):
             assert table[k] == int(np.ceil(k / 4))
 
     def test_min_nodes_table_mixed_node_sizes(self):
-        from repro.schedulers import OptimusScheduler
+        from repro.policy import OptimusPolicy
 
         cluster = ClusterSpec.heterogeneous((("t4", 2, 4), ("a100", 1, 8)))
-        table = OptimusScheduler._min_nodes_table(cluster)
+        table = OptimusPolicy._min_nodes_table(cluster)
         # Best-case packing uses the 8-GPU a100 node first.
         assert table[8] == 1
         assert table[9] == 2
@@ -339,7 +338,7 @@ class TestHeterogeneousSimulation:
             "mixed-t4-v100", num_jobs=6, duration_hours=0.5, seed=2
         )
         result = self._run(
-            lambda c: PolluxScheduler(
+            lambda c: PolluxPolicy(
                 c, PolluxSchedConfig(ga=GAConfig(population_size=12, generations=6))
             ),
             cluster,
@@ -355,7 +354,7 @@ class TestHeterogeneousSimulation:
         cluster, trace = generate_heterogeneous_workload(
             "mixed-t4-v100", num_jobs=6, duration_hours=0.5, seed=2
         )
-        result = self._run(lambda c: TiresiasScheduler(), cluster, trace)
+        result = self._run(lambda c: TiresiasPolicy(), cluster, trace)
         assert result.num_unfinished == 0
 
     def test_autoscaler_grows_chosen_type(self):
@@ -374,7 +373,7 @@ class TestHeterogeneousSimulation:
         )
         sim = Simulator(
             cluster,
-            TiresiasScheduler(),
+            TiresiasPolicy(),
             trace,
             SimConfig(seed=3, max_hours=20.0),
             autoscaler=GrowOnce(),
@@ -393,7 +392,7 @@ class TestHeterogeneousSimulation:
             TraceConfig(num_jobs=2, duration_hours=0.1, seed=6, max_gpus=4)
         )
         sim = Simulator(
-            cluster, TiresiasScheduler(), trace, SimConfig(seed=5, max_hours=10.0)
+            cluster, TiresiasPolicy(), trace, SimConfig(seed=5, max_hours=10.0)
         )
         job_a, job_b = sim.jobs
         job_a.allocation = np.array([2, 0, 0, 0])  # survives the shrink
@@ -408,14 +407,18 @@ class TestHeterogeneousSimulation:
         assert job_b.num_gpus == 0
         assert job_b.num_restarts == restarts_b
 
-    def test_pollux_autoscaler_hook_exposes_grow_spec(self):
+    def test_pollux_autoscaling_policy_exposes_grow_spec(self):
+        import repro.policy
         from repro.core import AutoscaleConfig
 
-        hook = PolluxAutoscalerHook(
-            AutoscaleConfig(min_nodes=1, max_nodes=4),
+        policy = repro.policy.create(
+            "pollux",
+            cluster=ClusterSpec.heterogeneous((("t4", 2, 4),)),
+            autoscale=AutoscaleConfig(min_nodes=1, max_nodes=4),
             grow_node_spec=NodeSpec(4, GPU_TYPES["v100"]),
         )
-        assert hook.grow_node_spec.gpu_type.name == "v100"
+        assert policy.grow_node_spec.gpu_type.name == "v100"
+        assert policy.capabilities.autoscales
 
     def test_utility_probe_sees_real_gpu_types(self, cifar_limits):
         """Autoscale probes evaluate the actual typed fleet, not a

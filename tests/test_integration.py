@@ -11,16 +11,10 @@ import dataclasses
 import numpy as np
 import pytest
 
+import repro.policy
 from repro.cluster import ClusterSpec
 from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
-from repro.schedulers import (
-    OptimusScheduler,
-    OrElasticAutoscaler,
-    OrElasticScheduler,
-    PolluxAutoscalerHook,
-    PolluxScheduler,
-    TiresiasScheduler,
-)
+from repro.policy import snapshot_state
 from repro.sim import SimConfig, Simulator
 from repro.workload import MODEL_ZOO, JobSpec, TraceConfig, generate_trace
 
@@ -32,9 +26,10 @@ SMALL_MIX = {
 
 
 def quick_pollux(cluster, seed=0, **config_kwargs):
-    return PolluxScheduler(
-        cluster,
-        PolluxSchedConfig(
+    return repro.policy.create(
+        "pollux",
+        cluster=cluster,
+        config=PolluxSchedConfig(
             ga=GAConfig(population_size=20, generations=10, seed=seed),
             **config_kwargs,
         ),
@@ -62,8 +57,8 @@ def comparison_results(small_trace):
     results = {}
     for scheduler in (
         quick_pollux(cluster),
-        OptimusScheduler(max_gpus_per_job=16),
-        TiresiasScheduler(),
+        repro.policy.create("optimus", max_gpus_per_job=16),
+        repro.policy.create("tiresias"),
     ):
         sim = Simulator(
             cluster, scheduler, small_trace, SimConfig(seed=7, max_hours=30)
@@ -120,7 +115,10 @@ class TestPolluxAdaptivity:
         while sim.now < 5 * 3600 and not job.complete:
             active = sim.active_jobs()
             if sim.now >= sim._next_schedule:
-                allocs = scheduler.schedule(sim.now, active, cluster)
+                state = snapshot_state(cluster, active, with_reports=True)
+                allocs = dict(
+                    scheduler.schedule(sim.now, state).allocations
+                )
                 sim._apply_allocations(allocs, active)
                 sim._next_schedule = sim.now + sim.config.scheduling_interval
                 sim._tune_batch_sizes(active)
@@ -147,7 +145,8 @@ class TestPolluxAdaptivity:
         scheduler = quick_pollux(cluster)
         sim = Simulator(cluster, scheduler, [spec], SimConfig(seed=3, max_hours=1))
         active = sim.active_jobs()
-        allocs = scheduler.schedule(0.0, active, cluster)
+        state = snapshot_state(cluster, active, with_reports=True)
+        allocs = scheduler.schedule(0.0, state).allocations
         assert allocs["solo"].sum() <= 1
 
 
@@ -202,27 +201,25 @@ class TestCloudAutoscaling:
             agent_interval=60.0,
         )
         cluster = ClusterSpec.homogeneous(1, 4)
-        pollux_sched = PolluxScheduler(
-            cluster,
-            PolluxSchedConfig(ga=GAConfig(population_size=16, generations=8)),
+        pollux_sched = repro.policy.create(
+            "pollux",
+            cluster=cluster,
+            config=PolluxSchedConfig(ga=GAConfig(population_size=16, generations=8)),
+            autoscale=AutoscaleConfig(min_nodes=1, max_nodes=8),
+            autoscale_interval=900.0,
         )
-        results["pollux"] = Simulator(
-            cluster,
-            pollux_sched,
-            [spec],
-            config,
-            autoscaler=PolluxAutoscalerHook(
-                AutoscaleConfig(min_nodes=1, max_nodes=8), interval=900.0
-            ),
-        ).run()
+        results["pollux"] = Simulator(cluster, pollux_sched, [spec], config).run()
         results["or-etal"] = Simulator(
             ClusterSpec.homogeneous(1, 4),
-            OrElasticScheduler(),
+            repro.policy.create(
+                "orelastic",
+                autoscale=True,
+                min_nodes=1,
+                max_nodes=8,
+                autoscale_interval=900.0,
+            ),
             [spec],
             config,
-            autoscaler=OrElasticAutoscaler(
-                min_nodes=1, max_nodes=8, interval=900.0
-            ),
         ).run()
         return results
 

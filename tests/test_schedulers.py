@@ -1,16 +1,24 @@
-"""Tests for the scheduling policies (Pollux adapter + baselines)."""
+"""Tests for the concrete scheduling policies (Pollux + baselines).
+
+Policies are exercised through the Policy API (snapshot states in,
+ScheduleDecision out); the deprecated ``repro.schedulers`` shims get their
+own class asserting they warn and still construct working policies with the
+legacy calling conventions.
+"""
 
 import numpy as np
 import pytest
 
+import repro.policy
 from repro.cluster import ClusterSpec, validate_allocation_matrix
 from repro.core import GAConfig, PolluxSchedConfig
-from repro.schedulers import (
-    OptimusScheduler,
-    OrElasticAutoscaler,
-    OrElasticScheduler,
-    PolluxScheduler,
-    TiresiasScheduler,
+from repro.policy import (
+    OptimusPolicy,
+    OrElasticPolicy,
+    Policy,
+    PolluxPolicy,
+    TiresiasPolicy,
+    snapshot_state,
 )
 from repro.sim.job import SimJob
 from repro.workload import MODEL_ZOO, JobSpec
@@ -39,6 +47,18 @@ def make_sim_job(
     return job
 
 
+def run_schedule(policy: Policy, jobs, cluster, now=0.0):
+    """Dispatch one scheduling event through the Policy API."""
+    state = snapshot_state(
+        cluster, jobs, with_reports=policy.capabilities.needs_agent
+    )
+    return policy.schedule(now, state)
+
+
+def allocations_of(policy: Policy, jobs, cluster, now=0.0):
+    return dict(run_schedule(policy, jobs, cluster, now).allocations)
+
+
 @pytest.fixture
 def cluster() -> ClusterSpec:
     return ClusterSpec.homogeneous(4, 4)
@@ -46,165 +66,285 @@ def cluster() -> ClusterSpec:
 
 class TestTiresias:
     def test_allocates_fixed_gpu_counts(self, cluster):
-        sched = TiresiasScheduler()
+        sched = TiresiasPolicy()
         jobs = [make_sim_job("a", gpus=3), make_sim_job("b", gpus=2)]
-        allocations = sched.schedule(0.0, jobs, cluster)
+        allocations = allocations_of(sched, jobs, cluster)
         assert allocations["a"].sum() == 3
         assert allocations["b"].sum() == 2
 
     def test_las_priority_prefers_low_service(self, cluster):
-        sched = TiresiasScheduler(queue_thresholds_gpu_hours=(1.0,))
+        sched = TiresiasPolicy(queue_thresholds_gpu_hours=(1.0,))
         # Cluster with room for only one of the two 16-GPU jobs.
         heavy = make_sim_job("old", gpus=16, gputime=20 * 3600.0)
         light = make_sim_job("new", gpus=16, gputime=0.0)
-        allocations = sched.schedule(0.0, [heavy, light], cluster)
+        allocations = allocations_of(sched, [heavy, light], cluster)
         assert allocations["new"].sum() == 16
         assert allocations["old"].sum() == 0
 
     def test_fifo_within_queue(self, cluster):
-        sched = TiresiasScheduler()
+        sched = TiresiasPolicy()
         first = make_sim_job("first", submit=0.0, gpus=16)
         second = make_sim_job("second", submit=10.0, gpus=16)
-        allocations = sched.schedule(0.0, [second, first], cluster)
+        allocations = allocations_of(sched, [second, first], cluster)
         assert allocations["first"].sum() == 16
         assert allocations["second"].sum() == 0
 
     def test_keeps_running_allocation_stable(self, cluster):
-        sched = TiresiasScheduler()
+        sched = TiresiasPolicy()
         job = make_sim_job("a", gpus=4)
         job.allocation = np.array([0, 4, 0, 0])
-        allocations = sched.schedule(0.0, [job], cluster)
+        allocations = allocations_of(sched, [job], cluster)
         np.testing.assert_array_equal(allocations["a"], [0, 4, 0, 0])
 
     def test_consolidates_replicas(self, cluster):
-        sched = TiresiasScheduler()
+        sched = TiresiasPolicy()
         jobs = [make_sim_job("a", gpus=4)]
-        allocations = sched.schedule(0.0, jobs, cluster)
+        allocations = allocations_of(sched, jobs, cluster)
         assert (allocations["a"] > 0).sum() == 1
 
     def test_requests_capped_to_cluster(self, cluster):
-        sched = TiresiasScheduler()
+        sched = TiresiasPolicy()
         jobs = [make_sim_job("a", gpus=64)]
-        allocations = sched.schedule(0.0, jobs, cluster)
+        allocations = allocations_of(sched, jobs, cluster)
         assert allocations["a"].sum() == cluster.total_gpus
 
     def test_feasible_matrix(self, cluster):
-        sched = TiresiasScheduler()
+        sched = TiresiasPolicy()
         jobs = [make_sim_job(f"j{i}", gpus=3) for i in range(8)]
-        allocations = sched.schedule(0.0, jobs, cluster)
+        allocations = allocations_of(sched, jobs, cluster)
         matrix = np.stack([allocations[j.name] for j in jobs])
         assert not validate_allocation_matrix(matrix, cluster)
 
 
 class TestOptimus:
     def test_min_gpus_for_large_batch(self, cluster):
-        sched = OptimusScheduler()
+        sched = OptimusPolicy()
         # Batch 2048 needs 2 GPUs at max_local_bsz=1024.
         job = make_sim_job("big-batch", bs=2048)
-        allocations = sched.schedule(0.0, [job], cluster)
+        allocations = allocations_of(sched, [job], cluster)
         assert allocations["big-batch"].sum() >= 2
 
     def test_gives_spare_gpus_to_scalable_job(self, cluster):
-        sched = OptimusScheduler()
+        sched = OptimusPolicy()
         job = make_sim_job("only", bs=512)
-        allocations = sched.schedule(0.0, [job], cluster)
+        allocations = allocations_of(sched, [job], cluster)
         assert allocations["only"].sum() > 1
 
     def test_short_jobs_not_starved(self, cluster):
-        sched = OptimusScheduler()
+        sched = OptimusPolicy()
         big = make_sim_job("imagenet", model="resnet50-imagenet", bs=256)
         smalls = [make_sim_job(f"s{i}", bs=256) for i in range(4)]
-        allocations = sched.schedule(0.0, [big] + smalls, cluster)
+        allocations = allocations_of(sched, [big] + smalls, cluster)
         for small in smalls:
             assert allocations[small.name].sum() >= 1
 
     def test_reallocation_interval_damping(self, cluster):
-        sched = OptimusScheduler(reallocation_interval=600.0)
+        sched = OptimusPolicy(reallocation_interval=600.0)
         job = make_sim_job("a", bs=512)
-        first = sched.schedule(0.0, [job], cluster)
+        first = allocations_of(sched, [job], cluster, now=0.0)
         job.allocation = first["a"]
         job.progress = 0.5 * job.target  # would normally change the counts
-        second = sched.schedule(60.0, [job], cluster)
+        second = allocations_of(sched, [job], cluster, now=60.0)
         np.testing.assert_array_equal(second["a"], first["a"])
         # After the interval, reallocation happens again.
-        third = sched.schedule(700.0, [job], cluster)
+        third = allocations_of(sched, [job], cluster, now=700.0)
         assert third["a"].sum() > 0
 
     def test_new_job_triggers_fresh_allocation(self, cluster):
-        sched = OptimusScheduler(reallocation_interval=600.0)
+        sched = OptimusPolicy(reallocation_interval=600.0)
         job_a = make_sim_job("a", bs=512)
-        sched.schedule(0.0, [job_a], cluster)
+        allocations_of(sched, [job_a], cluster, now=0.0)
         job_b = make_sim_job("b", bs=512)
-        allocations = sched.schedule(60.0, [job_a, job_b], cluster)
+        allocations = allocations_of(sched, [job_a, job_b], cluster, now=60.0)
         assert allocations["b"].sum() >= 1
 
     def test_feasible_matrix(self, cluster):
-        sched = OptimusScheduler()
+        sched = OptimusPolicy()
         jobs = [make_sim_job(f"j{i}", bs=256) for i in range(6)]
-        allocations = sched.schedule(0.0, jobs, cluster)
+        allocations = allocations_of(sched, jobs, cluster)
         matrix = np.stack([allocations[j.name] for j in jobs])
         assert not validate_allocation_matrix(matrix, cluster)
 
 
-class TestPolluxAdapter:
+class TestPolluxPolicy:
     def test_schedules_and_respects_constraints(self, cluster):
-        sched = PolluxScheduler(
+        sched = PolluxPolicy(
             cluster,
             PolluxSchedConfig(ga=GAConfig(population_size=16, generations=8)),
         )
         jobs = [make_sim_job(f"j{i}") for i in range(3)]
         for job in jobs:
             job.agent.record_iteration(1, 1, 128, 0.1)
-        allocations = sched.schedule(0.0, jobs, cluster)
+        allocations = allocations_of(sched, jobs, cluster)
         matrix = np.stack([allocations[j.name] for j in jobs])
         assert not validate_allocation_matrix(
             matrix, cluster, forbid_interference=True
         )
 
     def test_current_utility_bounds(self, cluster):
-        sched = PolluxScheduler(
+        sched = PolluxPolicy(
             cluster,
             PolluxSchedConfig(ga=GAConfig(population_size=16, generations=8)),
         )
         jobs = [make_sim_job("a")]
         jobs[0].allocation = np.array([1, 0, 0, 0])
-        util = sched.current_utility(jobs)
+        state = snapshot_state(cluster, jobs, with_reports=True)
+        util = sched.current_utility(state.jobs)
         assert 0.0 <= util <= 1.0
         assert sched.current_utility([]) == 0.0
+
+    def test_requires_agent_reports(self, cluster):
+        sched = PolluxPolicy(
+            cluster,
+            PolluxSchedConfig(ga=GAConfig(population_size=8, generations=4)),
+        )
+        state = snapshot_state(cluster, [make_sim_job("a")], with_reports=False)
+        with pytest.raises(ValueError, match="no agent report"):
+            sched.schedule(0.0, state)
 
 
 class TestOrElastic:
     def test_single_job_gets_everything(self, cluster):
-        sched = OrElasticScheduler()
+        sched = OrElasticPolicy()
         job = make_sim_job("solo", model="resnet50-imagenet", bs=256)
-        allocations = sched.schedule(0.0, [job], cluster)
-        assert allocations["solo"].sum() == cluster.total_gpus
-        # Batch size set to the throughput-optimal (memory-capped) value.
-        assert job.batch_size == min(
+        decision = run_schedule(sched, [job], cluster)
+        assert decision.allocations["solo"].sum() == cluster.total_gpus
+        # Batch size fixed at the throughput-optimal (memory-capped) value,
+        # via the decision (the Policy API replaces in-place mutation).
+        assert decision.batch_sizes["solo"] == min(
             job.model.limits.max_batch_size,
             cluster.total_gpus * job.model.limits.max_local_bsz,
         )
 
     def test_multi_job_rejected(self, cluster):
-        sched = OrElasticScheduler()
+        sched = OrElasticPolicy()
         jobs = [make_sim_job("a"), make_sim_job("b")]
         with pytest.raises(ValueError):
-            sched.schedule(0.0, jobs, cluster)
+            run_schedule(sched, jobs, cluster)
 
     def test_autoscaler_scales_out_for_scalable_model(self, cluster):
-        autoscaler = OrElasticAutoscaler(max_nodes=16, marginal_efficiency=0.5)
+        sched = OrElasticPolicy(autoscale=True, max_nodes=16, marginal_efficiency=0.5)
         job = make_sim_job("solo", model="resnet50-imagenet", bs=256)
-        nodes = autoscaler.desired_nodes(job)
-        assert nodes > 4  # ImageNet scales well on throughput alone
+        state = snapshot_state(cluster, [job])
+        request = sched.decide_resize(0.0, state)
+        assert request.num_nodes > 4  # ImageNet scales well on throughput alone
 
     def test_autoscaler_is_progress_independent(self, cluster):
         # Throughput-based scaling ignores statistical efficiency: the
         # decision is identical early and late in training (Fig. 10a).
-        autoscaler = OrElasticAutoscaler(max_nodes=16)
+        sched = OrElasticPolicy(autoscale=True, max_nodes=16)
         early = make_sim_job("e", model="resnet50-imagenet", progress_frac=0.01)
         late = make_sim_job("l", model="resnet50-imagenet", progress_frac=0.95)
-        assert autoscaler.desired_nodes(early) == autoscaler.desired_nodes(late)
+        early_req = sched.decide_resize(0.0, snapshot_state(cluster, [early]))
+        late_req = sched.decide_resize(0.0, snapshot_state(cluster, [late]))
+        assert early_req.num_nodes == late_req.num_nodes
 
     def test_empty_decide_returns_min(self, cluster):
-        autoscaler = OrElasticAutoscaler(min_nodes=2, max_nodes=8)
-        assert autoscaler.decide(0.0, [], cluster, OrElasticScheduler()) == 2
+        sched = OrElasticPolicy(autoscale=True, min_nodes=2, max_nodes=8)
+        request = sched.decide_resize(0.0, snapshot_state(cluster, []))
+        assert request.num_nodes == 2
+
+
+class TestDeprecationShims:
+    """repro.schedulers stays importable: warns, still builds working
+    policies, and keeps the legacy calling conventions."""
+
+    def test_old_names_importable(self):
+        from repro.schedulers import (  # noqa: F401
+            OptimusScheduler,
+            OrElasticAutoscaler,
+            OrElasticScheduler,
+            PolluxAutoscalerHook,
+            PolluxScheduler,
+            TiresiasScheduler,
+        )
+
+    def test_shims_warn_and_construct_working_policies(self, cluster):
+        from repro.schedulers import (
+            OptimusScheduler,
+            PolluxScheduler,
+            TiresiasScheduler,
+        )
+
+        with pytest.warns(DeprecationWarning, match="repro.policy.create"):
+            pollux = PolluxScheduler(
+                cluster,
+                PolluxSchedConfig(ga=GAConfig(population_size=8, generations=4)),
+            )
+        with pytest.warns(DeprecationWarning):
+            tiresias = TiresiasScheduler()
+        with pytest.warns(DeprecationWarning):
+            optimus = OptimusScheduler()
+        assert isinstance(pollux, PolluxPolicy)
+        assert isinstance(tiresias, TiresiasPolicy)
+        assert isinstance(optimus, OptimusPolicy)
+        # The shims still schedule (legacy three-argument signature).
+        jobs = [make_sim_job("a"), make_sim_job("b")]
+        allocations = tiresias.schedule(0.0, jobs, cluster)
+        assert isinstance(allocations, dict)
+        assert set(allocations) == {"a", "b"}
+
+    def test_legacy_signature_matches_policy_api(self, cluster):
+        from repro.schedulers import TiresiasScheduler
+
+        with pytest.warns(DeprecationWarning):
+            shim = TiresiasScheduler()
+        native = TiresiasPolicy()
+        jobs = [make_sim_job("a", gpus=3), make_sim_job("b", gpus=2)]
+        legacy = shim.schedule(0.0, jobs, cluster)
+        modern = allocations_of(native, jobs, cluster)
+        assert set(legacy) == set(modern)
+        for name in legacy:
+            np.testing.assert_array_equal(legacy[name], modern[name])
+
+    def test_orelastic_shim_mutates_batch_size_in_place(self, cluster):
+        from repro.schedulers import OrElasticScheduler
+
+        with pytest.warns(DeprecationWarning):
+            shim = OrElasticScheduler()
+        job = make_sim_job("solo", model="resnet50-imagenet", bs=256)
+        shim.schedule(0.0, [job], cluster)
+        # Legacy contract: the scheduler set job.batch_size itself.
+        assert job.batch_size == min(
+            job.model.limits.max_batch_size,
+            cluster.total_gpus * job.model.limits.max_local_bsz,
+        )
+
+    def test_autoscaler_shims_keep_decide_protocol(self, cluster):
+        from repro.schedulers import OrElasticAutoscaler, OrElasticScheduler
+
+        with pytest.warns(DeprecationWarning):
+            autoscaler = OrElasticAutoscaler(min_nodes=2, max_nodes=8)
+        with pytest.warns(DeprecationWarning):
+            sched = OrElasticScheduler()
+        assert autoscaler.decide(0.0, [], cluster, sched) == 2
+        job = make_sim_job("solo", model="resnet50-imagenet")
+        assert autoscaler.decide(0.0, [job], cluster, sched) >= 2
+
+    def test_pollux_hook_decide_via_shim(self, cluster):
+        from repro.core import AutoscaleConfig
+        from repro.schedulers import PolluxAutoscalerHook, PolluxScheduler
+
+        with pytest.warns(DeprecationWarning):
+            sched = PolluxScheduler(
+                cluster,
+                PolluxSchedConfig(ga=GAConfig(population_size=8, generations=4)),
+            )
+        with pytest.warns(DeprecationWarning):
+            hook = PolluxAutoscalerHook(
+                AutoscaleConfig(min_nodes=1, max_nodes=8), interval=600.0
+            )
+        job = make_sim_job("a")
+        job.agent.record_iteration(1, 1, 128, 0.1)
+        job.allocation = np.array([1, 0, 0, 0])
+        desired = hook.decide(0.0, [job], cluster, sched)
+        assert 1 <= desired <= 8
+
+    def test_registry_and_shim_agree(self, cluster):
+        from repro.schedulers import TiresiasScheduler
+
+        with pytest.warns(DeprecationWarning):
+            shim = TiresiasScheduler()
+        native = repro.policy.create("tiresias", cluster=cluster)
+        assert shim.name == native.name
+        assert shim.capabilities == native.capabilities

@@ -22,7 +22,7 @@ from repro.core import (
 from repro.core.speedup import MULTI_NODE, SINGLE_NODE
 from repro.sim import SimConfig, Simulator
 from repro.workload import MODEL_ZOO, TraceConfig, generate_trace
-from repro.schedulers import PolluxAutoscalerHook, PolluxScheduler
+from repro.policy import PolluxPolicy, snapshot_job
 
 
 def _report(phi: float = 120.0, max_gpus_seen: int = 4) -> AgentReport:
@@ -235,7 +235,7 @@ class TestPhiBucketedSimulation:
                     gpus_per_node=4,
                 )
             )
-            scheduler = PolluxScheduler(
+            scheduler = PolluxPolicy(
                 cluster,
                 PolluxSchedConfig(
                     ga=GAConfig(population_size=10, generations=4),
@@ -323,7 +323,7 @@ class TestTableBatchTuning:
                     gpus_per_node=4,
                 )
             )
-            scheduler = PolluxScheduler(
+            scheduler = PolluxPolicy(
                 cluster,
                 PolluxSchedConfig(ga=GAConfig(population_size=10, generations=4)),
             )
@@ -351,16 +351,14 @@ class TestAutoscalerHookSnapshots:
                 gpus_per_node=4,
             )
         )
-        scheduler = PolluxScheduler(
+        scheduler = PolluxPolicy(
             cluster,
             PolluxSchedConfig(ga=GAConfig(population_size=10, generations=4)),
-        )
-        hook = PolluxAutoscalerHook(
-            AutoscaleConfig(min_nodes=1, max_nodes=4), interval=600.0
+            autoscale=AutoscaleConfig(min_nodes=1, max_nodes=4),
+            autoscale_interval=600.0,
         )
         sim = Simulator(
-            cluster, scheduler, trace, SimConfig(seed=4, max_hours=5.0),
-            autoscaler=hook,
+            cluster, scheduler, trace, SimConfig(seed=4, max_hours=5.0)
         )
         sim.run()
         jobs = [j for j in sim.jobs if not j.complete] or sim.jobs
@@ -377,7 +375,8 @@ class TestAutoscalerHookSnapshots:
             for j in jobs
         ]
         matrix = np.stack([j.allocation for j in jobs])
-        assert scheduler.current_utility(jobs) == scheduler.utility_of(
+        snaps = [snapshot_job(j, with_report=True) for j in jobs]
+        assert scheduler.current_utility(snaps) == scheduler.utility_of(
             infos, matrix
         )
 
