@@ -149,7 +149,7 @@ def run_argmax_comparison():
     t_golden = time.perf_counter() - start
 
     start = time.perf_counter()
-    table = build_speedup_table(model, max_gpus=32)
+    build_speedup_table(model, max_gpus=32)
     t_table = time.perf_counter() - start
 
     grid = [

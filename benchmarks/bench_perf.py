@@ -24,7 +24,6 @@ Run modes:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import sys
@@ -55,7 +54,7 @@ from repro.core.throughput import (
     ThroughputModel,
     fit_throughput_params,
 )
-from repro.sim import SimConfig, SimResult, Simulator
+from repro.sim import SimConfig, Simulator, decision_digest
 from repro.workload import MODEL_ZOO, TraceConfig, generate_trace
 
 from benchmarks.common import SCALE, print_header
@@ -64,23 +63,6 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 #: CI fails when sched_round_ms exceeds baseline * this factor.
 REGRESSION_FACTOR = 2.0
-
-
-def _decision_digest(result: SimResult) -> str:
-    """Hash of the complete decision stream (JCTs, restarts, timeline)."""
-    parts: List[tuple] = []
-    for r in result.records:
-        parts.append(
-            (r.name, repr(r.start_time), repr(r.finish_time), repr(r.gputime),
-             r.num_restarts)
-        )
-    for t in result.timeline:
-        parts.append(
-            (repr(t.time), t.num_nodes, t.gpus_in_use, t.running_jobs,
-             t.pending_jobs, repr(t.mean_efficiency),
-             repr(t.mean_speedup_utility), t.gpus_in_use_by_type)
-        )
-    return hashlib.sha256(repr(parts).encode()).hexdigest()
 
 
 def _median_ms(fn, repeats: int) -> float:
@@ -314,7 +296,7 @@ def bench_sim(
     cache = sim.scheduler.sched.surface_cache
     out: Dict[str, object] = {
         "wall_s": round(wall, 3),
-        "decision_digest": _decision_digest(result),
+        "decision_digest": decision_digest(result),
         "avg_jct_hours": round(result.avg_jct() / 3600.0, 6),
         "num_restarts": int(sum(r.num_restarts for r in result.records)),
     }

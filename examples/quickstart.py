@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.core import (
     EfficiencyModel,
-    GoodputModel,
     PolluxAgent,
     build_speedup_table,
 )

@@ -9,7 +9,7 @@ algorithm, and the simulator.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import List
 
 import numpy as np
 

@@ -10,7 +10,7 @@ maximizing GOODPUT(a, m) over m (Eqn. 13).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np

@@ -28,7 +28,6 @@ from .genetic import (
     GA_ENGINES,
     AllocationProblem,
     GAConfig,
-    GeneticOptimizer,
     JobGAInfo,
     make_optimizer,
 )

@@ -335,7 +335,6 @@ def build_tput_cells(
     caps, speeds = _check_batch_args(models, caps, type_speeds)
     if num_jobs == 0:
         return []
-    num_types = speeds.size
 
     # Vectorized replica of batch_size_grid for every job at once: the
     # same geometric grid (10 ** linspace of log10 endpoints, exact

@@ -1,0 +1,96 @@
+"""The wall-clock scheduling service: the Policy API's second host.
+
+The paper's scheduler is a *service*, not just a trace simulator: a
+periodic optimization loop running against live job state, with per-job
+agents reporting asynchronously (Sec. 5).  This package is that service
+for the repo's :mod:`repro.policy` interface, following the Blox-style
+policy/mechanism split: the same registry-constructed ``Policy`` objects
+that drive the discrete-time simulator drive a real-time cluster here,
+unchanged.
+
+Three pieces:
+
+- :class:`~repro.host.service.PolicyHost` — the dispatch loop.  Builds
+  frozen :class:`~repro.policy.views.ClusterState` snapshots at the
+  configured cadence (plus lifecycle snapshots on submit/complete
+  events), honors :class:`~repro.policy.base.PolicyCapabilities` exactly
+  like the simulator (agent reports only for ``needs_agent`` policies,
+  cadenced ``decide_resize`` before the same round's ``schedule``,
+  agent-cadence batch re-tuning for ``adapts_batch_size``), applies
+  :class:`~repro.policy.base.ScheduleDecision`\\ s through the backend
+  with restart accounting, and records structured per-round metrics
+  (dispatch latency, decisions applied, restarts triggered).  Lifecycle:
+  blocking ``run()``, or ``start()`` / ``drain()`` / ``stop()`` around a
+  background thread.
+- :class:`~repro.host.backend.ClusterBackend` — the mechanism protocol
+  (node inventory, active jobs, allocation apply, resize, lifecycle
+  events, time).
+- Two backends: :class:`~repro.host.threaded.ThreadedBackend`, an
+  in-process live cluster whose jobs are goodput-model-driven worker
+  threads advancing in real (optionally time-scaled) time; and
+  :class:`~repro.host.replay.ReplayBackend`, which replays a recorded
+  trace at a configurable time-compression factor through the simulator's
+  own :class:`~repro.sim.engine.ClusterEngine` mechanism.
+
+Running the live host
+---------------------
+
+Schedule live jobs with a real policy in a dozen lines
+(``examples/live_scheduler.py`` is the runnable version)::
+
+    import repro.policy
+    from repro.cluster import ClusterSpec
+    from repro.host import PolicyHost, ThreadedBackend, ThreadedConfig
+    from repro.workload import MODEL_ZOO, JobSpec
+
+    cluster = ClusterSpec.homogeneous(4, 4)
+    policy = repro.policy.create("pollux", cluster=cluster, seed=0)
+    # time_scale=600: one wall-clock second is 10 cluster minutes.
+    backend = ThreadedBackend(cluster, ThreadedConfig(time_scale=600.0))
+
+    host = PolicyHost(policy, backend)
+    host.start()
+    backend.submit(JobSpec("job-0", MODEL_ZOO["resnet18-cifar10"], 0.0, 2, 256))
+    ...                      # submit more live, watch host.metrics
+    result = host.drain()    # finish queued work, collect accounting
+    print(host.metrics.summary())
+
+Deterministic replay (and the host-agreement guarantee)
+-------------------------------------------------------
+
+Replaying a recorded trace reproduces the simulator's decision stream
+**bit-for-bit** — same snapshot-build schedule, same report-call schedule
+(only for ``needs_agent`` policies), same RNG streams — because both
+hosts share one mechanism (:class:`~repro.sim.engine.ClusterEngine`) and
+one dispatch code path (:mod:`repro.policy.dispatch`)::
+
+    from repro.host import PolicyHost, ReplayBackend
+    from repro.sim import SimConfig, decision_digest
+
+    backend = ReplayBackend(cluster, trace, SimConfig(seed=1))
+    result = PolicyHost(policy, backend).run()
+    assert decision_digest(result) == decision_digest(simulator_result)
+
+``tests/test_host.py`` pins this for every registered policy and the
+``host-smoke`` CI job gates it; ``benchmarks/bench_host_agreement.py`` is
+the standalone checker.  A finite ``compression`` paces the replay
+against the wall clock (e.g. ``compression=3600`` replays an hour of
+trace per second) — useful for watching a policy behave in "fast real
+time" before pointing it at live jobs.
+"""
+
+from .backend import ClusterBackend
+from .replay import ReplayBackend
+from .service import HostConfig, HostMetrics, PolicyHost, RoundMetrics
+from .threaded import ThreadedBackend, ThreadedConfig
+
+__all__ = [
+    "ClusterBackend",
+    "HostConfig",
+    "HostMetrics",
+    "PolicyHost",
+    "RoundMetrics",
+    "ReplayBackend",
+    "ThreadedBackend",
+    "ThreadedConfig",
+]

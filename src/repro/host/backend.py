@@ -1,0 +1,144 @@
+"""The ClusterBackend protocol: what a cluster owes the wall-clock host.
+
+:class:`~repro.host.service.PolicyHost` is mechanism-agnostic: it speaks to
+the cluster through this protocol, which abstracts *where jobs actually
+run* — an in-process thread pool advancing goodput models in real time
+(:class:`~repro.host.threaded.ThreadedBackend`), a recorded trace replayed
+on compressed time (:class:`~repro.host.replay.ReplayBackend`), or, in a
+real deployment, a Kubernetes/Ray operator speaking to pods.
+
+Time is *host time* in seconds since :meth:`ClusterBackend.start` — virtual
+seconds for the replay backend, (optionally scaled) wall-clock seconds for
+the threaded backend.  Job objects returned by :meth:`ClusterBackend.jobs`
+are duck-typed against :class:`repro.sim.job.SimJob` (the attribute shape
+:func:`repro.policy.views.snapshot_job` consumes), so the host builds
+policy snapshots with the same shared builders the simulator uses.
+
+Lifecycle events (job submitted / completed) flow from the backend to the
+host through ``host.dispatch_event(kind, time, job)`` — synchronously at
+the exact event point for deterministic backends, drained from a queue
+during :meth:`ClusterBackend.advance` for asynchronous ones.
+"""
+
+from __future__ import annotations
+
+from contextlib import AbstractContextManager
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, runtime_checkable
+
+from ..cluster.spec import ClusterSpec, NodeSpec
+from ..sim.metrics import SimResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .service import HostConfig, PolicyHost
+
+__all__ = ["ClusterBackend"]
+
+
+@runtime_checkable
+class ClusterBackend(Protocol):
+    """Cluster mechanism driven by a :class:`~repro.host.service.PolicyHost`.
+
+    ``finite`` declares whether the backend drains a fixed workload (the
+    host's run loop then ends when :meth:`drained`) or serves live
+    submissions indefinitely (the host keeps dispatching until stopped or
+    drained on request).
+    """
+
+    finite: bool
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, host: "PolicyHost") -> None:
+        """Bind to the host and begin serving.
+
+        The backend keeps ``host`` to read the policy's live capabilities
+        (``host.policy.capabilities``), sample scheduling telemetry
+        (``host.policy.last_utility``), and deliver lifecycle events
+        (``host.dispatch_event``).  Backends apply the policy's
+        ``adapts_batch_size`` contract here: jobs of non-adaptive policies
+        train at their submitted fixed batch size.
+        """
+        ...
+
+    def stop(self) -> None:
+        """Stop serving (idempotent); called by the host on exit."""
+        ...
+
+    # -- inventory ------------------------------------------------------
+
+    def now(self) -> float:
+        """Current host time, in seconds since :meth:`start`."""
+        ...
+
+    def deadline(self) -> float:
+        """Host time at which the run is cut off (``inf`` for no cap)."""
+        ...
+
+    def cluster(self) -> ClusterSpec:
+        """Current node inventory (changes only through :meth:`resize`)."""
+        ...
+
+    def jobs(self) -> Sequence:
+        """Active jobs in canonical (submission) order, SimJob-shaped."""
+        ...
+
+    def drained(self) -> bool:
+        """No active jobs and no known future submissions."""
+        ...
+
+    # -- time -----------------------------------------------------------
+
+    def idle_fast_forward(self) -> float:
+        """Skip an idle stretch, returning the host-time seconds skipped.
+
+        Only trace-replaying backends can see the future; live backends
+        return 0.0.  The host re-aligns its dispatch timers by the amount
+        skipped (matching the simulator's idle fast-forward semantics).
+        """
+        ...
+
+    def advance(self, until: float) -> None:
+        """Run the cluster forward to host time ``until``.
+
+        Replay backends step their engine tick-by-tick (sleeping
+        ``tick/compression`` per tick); live backends sleep while worker
+        threads advance.  Lifecycle events are delivered to
+        ``host.dispatch_event`` during the call, in event order.  Returns
+        early when the active set empties (so the host can fast-forward)
+        or the backend is stopped/drained.
+        """
+        ...
+
+    def drain_events(self) -> None:
+        """Deliver any queued lifecycle events to the host, in order.
+
+        The host calls this before every dispatch round so a policy never
+        sees a job in a snapshot before its ``on_job_submitted`` event.
+        No-op for backends that deliver events synchronously (replay).
+        """
+        ...
+
+    # -- mechanism ------------------------------------------------------
+
+    def dispatch_lock(self) -> AbstractContextManager:
+        """Context manager the host holds while building snapshots and
+        applying decisions (a no-op for single-threaded backends)."""
+        ...
+
+    def apply_allocations(self, allocations, jobs: Sequence) -> None:
+        """Apply per-job allocation vectors with restart accounting."""
+        ...
+
+    def resize(self, num_nodes: int, grow_node_spec: Optional[NodeSpec]) -> None:
+        """Grow or shrink the cluster to ``num_nodes`` nodes."""
+        ...
+
+    # -- results --------------------------------------------------------
+
+    def host_config(self) -> "HostConfig":
+        """The dispatch cadences this backend expects (the host's default)."""
+        ...
+
+    def collect_result(self, scheduler_name: str) -> SimResult:
+        """Final accounting for the run, simulator-result-shaped."""
+        ...

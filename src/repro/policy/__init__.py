@@ -2,9 +2,12 @@
 
 This package is the repo's policy/mechanism seam (in the spirit of Blox,
 Agarwal et al.): scheduling *policies* consume frozen snapshot views and
-return decisions; *hosts* (the discrete-time simulator today, a wall-clock
-service tomorrow) own the event loop, job runtime state, profiling, and the
-application of decisions.  The four paper policies — Pollux and the
+return decisions; *hosts* own the event loop, job runtime state,
+profiling, and the application of decisions.  There are two hosts — the
+discrete-time simulator (:mod:`repro.sim`) and the wall-clock service
+(:mod:`repro.host`) — sharing the dispatch helpers in
+:mod:`repro.policy.dispatch`, so a policy written once runs on both (and
+on a recorded trace their decision streams agree bit-for-bit).  The four paper policies — Pollux and the
 Tiresias / Optimus+Oracle / Or-et-al baselines — plus both autoscaling
 behaviors (goodput-utility and throughput-marginal) all live behind this
 one interface, constructible by registry name::
@@ -86,6 +89,12 @@ from .base import (
     ScheduleDecision,
 )
 from .compat import LegacyAutoscalerBridge, LegacySchedulerAdapter, as_policy
+from .dispatch import (
+    apply_decision,
+    build_cluster_state,
+    relay_job_event,
+    tune_batch_sizes,
+)
 from .registry import available, canonical, create, describe, register
 from .views import ClusterState, JobSnapshot, snapshot_job, snapshot_state
 
@@ -104,6 +113,10 @@ __all__ = [
     "JobSnapshot",
     "snapshot_job",
     "snapshot_state",
+    "build_cluster_state",
+    "apply_decision",
+    "relay_job_event",
+    "tune_batch_sizes",
     "create",
     "register",
     "available",

@@ -1,0 +1,128 @@
+"""Shared dispatch helpers: one code path for every host of the Policy API.
+
+A *host* (the discrete-time simulator, the wall-clock :mod:`repro.host`
+service) owns an event loop and job runtime state; what it owes the policy
+is a fixed dispatch contract:
+
+- snapshots are built exactly at dispatch events, with agent reports
+  attached only for policies whose capabilities declare ``needs_agent``
+  (building a report triggers a memoized model fit, so the report-call
+  schedule is part of the decision stream);
+- a :class:`~repro.policy.base.ScheduleDecision` is applied in a fixed
+  order — policy-fixed batch sizes first, then allocations, then a bundled
+  resize request (honored only for ``autoscales`` policies);
+- batch-size re-tuning (for ``adapts_batch_size`` policies) runs each
+  job's agent at the host's agent cadence.
+
+These helpers were extracted from the simulator's dispatch loop so that
+every host shares them *by construction* — the host-agreement guarantee
+(``tests/test_host.py``, ``benchmarks/bench_host_agreement.py``) pins that
+the wall-clock replay host reproduces the simulator's decision streams
+bit-for-bit, and sharing this code path is what makes that hold.
+
+Jobs are duck-typed against :class:`repro.sim.job.SimJob` (see
+:func:`~repro.policy.views.snapshot_job` for the attribute shape).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..cluster.spec import ClusterSpec, NodeSpec
+from .base import PolicyCapabilities, ScheduleDecision
+from .views import ClusterState, snapshot_job
+
+__all__ = [
+    "build_cluster_state",
+    "apply_decision",
+    "relay_job_event",
+    "tune_batch_sizes",
+]
+
+
+def relay_job_event(policy, kind: str, now: float, job) -> None:
+    """Deliver a host lifecycle event to the policy.
+
+    ``kind`` is ``"submitted"`` or ``"completed"``.  Lifecycle snapshots
+    are report-free by contract — agent reports are attached only at
+    scheduling/autoscale dispatch events (the report-call schedule is part
+    of the decision stream) — and both hosts relay through this one
+    helper so the event contract cannot drift between them.
+    """
+    if kind == "submitted":
+        policy.on_job_submitted(now, snapshot_job(job))
+    else:
+        policy.on_job_completed(now, snapshot_job(job))
+
+
+def build_cluster_state(
+    cluster: ClusterSpec,
+    jobs: Iterable,
+    capabilities: PolicyCapabilities,
+) -> ClusterState:
+    """Frozen policy-facing view of the cluster and active jobs.
+
+    Agent reports are attached only when ``capabilities.needs_agent`` —
+    building a report can trigger a (memoized, deterministic) model fit,
+    so the report-call schedule is pinned to dispatch events to keep
+    decision streams exact.
+    """
+    with_report = capabilities.needs_agent
+    return ClusterState(
+        cluster=cluster,
+        jobs=tuple(snapshot_job(job, with_report=with_report) for job in jobs),
+    )
+
+
+def apply_decision(
+    decision: ScheduleDecision,
+    jobs: Sequence,
+    capabilities: PolicyCapabilities,
+    *,
+    apply_allocations: Callable[[dict, Sequence], None],
+    resize_cluster: Callable[[int, Optional[NodeSpec]], None],
+) -> None:
+    """Apply one ScheduleDecision: batch sizes, allocations, resize.
+
+    Policy-fixed batch sizes land before the allocations (matching the
+    pre-API behavior where e.g. the Or-et-al scheduler set them inside
+    ``schedule``); a bundled resize request is honored last, and only for
+    policies whose capabilities declare ``autoscales``.  The host supplies
+    its allocation/resize mechanisms as callables.
+    """
+    for job in jobs:
+        batch_size = decision.batch_sizes.get(job.name)
+        if batch_size is not None:
+            job.batch_size = float(batch_size)
+    apply_allocations(decision.allocations, jobs)
+    if decision.resize is not None and capabilities.autoscales:
+        resize_cluster(int(decision.resize.num_nodes), decision.resize.grow_node_spec)
+
+
+def tune_batch_sizes(
+    jobs: Sequence,
+    batch_tuning: str = "table",
+    points_per_octave: int = 32,
+) -> None:
+    """Let each running adaptive job's agent re-tune its batch size.
+
+    ``batch_tuning`` follows :class:`~repro.sim.simulator.SimConfig`:
+    ``"table"`` is the O(1) argmax-table lookup, ``"golden"``/``"search"``
+    the golden-section maximization.  Jobs whose agents cannot tune yet
+    (no fitted model) keep their current batch size.
+    """
+    method = "search" if batch_tuning in ("golden", "search") else "table"
+    for job in jobs:
+        if job.num_gpus == 0:
+            continue
+        try:
+            batch_size, _ = job.agent.tune_batch_size(
+                job.num_nodes_occupied,
+                job.num_gpus,
+                job.current_speed,
+                method=method,
+                points_per_octave=points_per_octave,
+            )
+        except ValueError:
+            continue
+        job.batch_size = float(batch_size)

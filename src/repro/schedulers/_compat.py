@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 import warnings
-from typing import Dict, Optional, Sequence
-
-import numpy as np
+from typing import Optional
 
 from ..cluster.spec import ClusterSpec
 from ..policy.views import snapshot_state

@@ -1,8 +1,16 @@
 """Discrete-time cluster simulation (Sec. 5.3)."""
 
+from .engine import ClusterEngine
 from .job import JobPhase, SimJob
-from .metrics import JobRecord, SimResult, TimelineSample, average_summaries
-from .simulator import ClusterAutoscaler, Scheduler, SimConfig, Simulator
+from .metrics import (
+    JobRecord,
+    SimResult,
+    TimelineSample,
+    average_summaries,
+    decision_digest,
+)
+from .simconfig import SimConfig
+from .simulator import ClusterAutoscaler, Scheduler, Simulator
 
 __all__ = [
     "JobPhase",
@@ -11,7 +19,9 @@ __all__ = [
     "SimResult",
     "TimelineSample",
     "average_summaries",
+    "decision_digest",
     "ClusterAutoscaler",
+    "ClusterEngine",
     "Scheduler",
     "SimConfig",
     "Simulator",

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["JobRecord", "TimelineSample", "SimResult"]
+__all__ = ["JobRecord", "TimelineSample", "SimResult", "decision_digest"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,26 @@ class JobRecord:
         if self.finish_time is None:
             return None
         return self.finish_time - self.submission_time
+
+    @classmethod
+    def from_job(cls, job) -> "JobRecord":
+        """Final accounting for a host runtime job (SimJob-shaped).
+
+        One construction path shared by every host (simulator, replay,
+        threaded), so a new record field cannot silently diverge between
+        their results.
+        """
+        return cls(
+            name=job.name,
+            model=job.model.name,
+            category=job.model.category,
+            submission_time=job.submission_time,
+            start_time=job.start_time,
+            finish_time=job.finish_time,
+            gputime=job.gputime,
+            num_restarts=job.num_restarts,
+            user_configured=job.spec.user_configured,
+        )
 
 
 @dataclass(frozen=True)
@@ -186,6 +207,32 @@ class SimResult:
             f"p99 {s['p99_jct_hours']:.2f}h  makespan {s['makespan_hours']:.2f}h  "
             f"eff {s['avg_efficiency'] * 100.0:.0f}%"
         )
+
+
+def decision_digest(result: SimResult) -> str:
+    """Hash of the complete decision stream (JCTs, restarts, timeline).
+
+    Two runs with identical digests made bit-for-bit identical scheduling
+    decisions: every start/finish time, GPU-time total, restart count, and
+    per-tick utilization/efficiency sample hashes in via exact float
+    ``repr``.  Used by the perf CI gate (the legacy engine's digests in
+    ``BENCH_perf.json`` must never move) and by the host-agreement check
+    (the wall-clock replay host must reproduce the simulator's stream on
+    the same trace).
+    """
+    parts: List[tuple] = []
+    for r in result.records:
+        parts.append(
+            (r.name, repr(r.start_time), repr(r.finish_time), repr(r.gputime),
+             r.num_restarts)
+        )
+    for t in result.timeline:
+        parts.append(
+            (repr(t.time), t.num_nodes, t.gpus_in_use, t.running_jobs,
+             t.pending_jobs, repr(t.mean_efficiency),
+             repr(t.mean_speedup_utility), t.gpus_in_use_by_type)
+        )
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
 
 
 def average_summaries(results: Sequence[SimResult]) -> Dict[str, float]:

@@ -15,10 +15,14 @@ Reproduces the paper's simulator semantics:
   job's slowest allocated node, and agents record each measurement's device
   speed so fitted models project across GPU types.
 
-The simulator is a *host* for the Policy API (:mod:`repro.policy`): its
-dispatch loop speaks only :class:`~repro.policy.base.Policy` — frozen
-snapshot views in, :class:`~repro.policy.base.ScheduleDecision` out, with
-behavior differences expressed purely through
+The simulator is one *host* of the Policy API (:mod:`repro.policy`); the
+wall-clock service in :mod:`repro.host` is the other.  The mechanism layer
+— job state, admission, ground-truth advancement, allocation/resize
+mechanics — lives in the shared :class:`~repro.sim.engine.ClusterEngine`
+base class; this module adds the paper's fixed-interval dispatch loop on
+simulated time.  Dispatch speaks only :class:`~repro.policy.base.Policy` —
+frozen snapshot views in, :class:`~repro.policy.base.ScheduleDecision`
+out, with behavior differences expressed purely through
 :class:`~repro.policy.base.PolicyCapabilities` (no policy-specific
 branches).  Pre-API duck-typed schedulers and autoscaler hooks (the legacy
 :class:`Scheduler` / :class:`ClusterAutoscaler` protocols below) are still
@@ -31,18 +35,20 @@ not quantize JCTs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, Optional, Protocol, Sequence
 
 import numpy as np
 
-from ..cluster.spec import ClusterSpec, NodeSpec
+from ..cluster.spec import ClusterSpec
 from ..policy.base import ScheduleDecision
 from ..policy.compat import as_policy
-from ..policy.views import ClusterState, snapshot_job
+from ..policy.dispatch import apply_decision, build_cluster_state, relay_job_event
+from ..policy.views import ClusterState
 from ..workload.trace import JobSpec
+from .engine import ClusterEngine
 from .job import SimJob
-from .metrics import JobRecord, SimResult, TimelineSample
+from .metrics import JobRecord, SimResult
+from .simconfig import SimConfig
 
 __all__ = ["SimConfig", "Scheduler", "ClusterAutoscaler", "Simulator"]
 
@@ -97,56 +103,7 @@ class ClusterAutoscaler(Protocol):
         ...
 
 
-@dataclass(frozen=True)
-class SimConfig:
-    """Simulator parameters (defaults follow Sec. 5.1).
-
-    ``batch_tuning`` selects how Pollux jobs re-tune their batch size each
-    agent interval: ``"table"`` (default) is an O(1) lookup from the
-    agent's memoized argmax batch-size table on a
-    ``tuning_points_per_octave`` geometric grid; ``"golden"`` (alias
-    ``"search"``) is the paper's golden-section maximization of Eqn. 13,
-    kept as the escape hatch.  At the default grid density the two choose
-    batch sizes within one ~2% grid step of each other, and the
-    seed-averaged end-to-end avg-JCT delta is statistically
-    indistinguishable from zero at the trace-noise level: -0.4% over 6
-    seeds at full paper scale, point estimates within +-2% either way at
-    reduced scale (quantified in ``benchmarks/bench_ga_engines.py`` /
-    ``BENCH_ga_engines.json``) — table mode became the default because it
-    is ~6x cheaper per tuning tick at equivalent decisions.
-    """
-
-    tick_seconds: float = 30.0
-    scheduling_interval: float = 60.0
-    agent_interval: float = 30.0
-    restart_delay: float = 30.0
-    interference_slowdown: float = 0.0
-    max_hours: float = 200.0
-    profile_noise: float = 0.03
-    gns_noise: float = 0.10
-    seed: int = 0
-    batch_tuning: str = "table"
-    tuning_points_per_octave: int = 32
-
-    def __post_init__(self) -> None:
-        if self.tick_seconds <= 0:
-            raise ValueError("tick_seconds must be positive")
-        if self.scheduling_interval < self.tick_seconds:
-            raise ValueError("scheduling_interval must be >= tick_seconds")
-        if not (0.0 <= self.interference_slowdown < 1.0):
-            raise ValueError("interference_slowdown must be in [0, 1)")
-        if self.max_hours <= 0:
-            raise ValueError("max_hours must be positive")
-        if self.batch_tuning not in ("table", "golden", "search"):
-            raise ValueError(
-                f"batch_tuning must be 'table', 'golden', or 'search', got "
-                f"{self.batch_tuning!r}"
-            )
-        if self.tuning_points_per_octave < 1:
-            raise ValueError("tuning_points_per_octave must be >= 1")
-
-
-class Simulator:
+class Simulator(ClusterEngine):
     """Drives a workload trace through a scheduling policy.
 
     ``scheduler`` is normally a :class:`repro.policy.base.Policy`
@@ -165,89 +122,31 @@ class Simulator:
         config: SimConfig = SimConfig(),
         autoscaler: Optional[ClusterAutoscaler] = None,
     ):
-        self.cluster = cluster
+        super().__init__(cluster, jobs, config)
         self.scheduler = scheduler
-        self.config = config
         self.autoscaler = autoscaler
         #: The dispatch loop speaks only the Policy API; legacy objects
         #: are adapted here, once, at construction.
         self.policy = as_policy(
             scheduler, autoscaler, jobs_provider=lambda: self._active
         )
-        self._rng = np.random.default_rng(config.seed)
-        node_speeds = cluster.node_speeds()
-        self.jobs = [
-            SimJob(
-                spec,
-                cluster.num_nodes,
-                agent_seed=config.seed + idx,
-                node_speeds=node_speeds,
-            )
-            for idx, spec in enumerate(
-                sorted(jobs, key=lambda s: (s.submission_time, s.name))
-            )
-        ]
         for job in self.jobs:
             if not self.policy.capabilities.adapts_batch_size:
                 job.batch_size = float(job.spec.fixed_batch_size)
-        self.now = 0.0
         self._next_schedule = 0.0
         self._next_agent = 0.0
         self._next_autoscale = 0.0
-        # Submission-time-ordered bookkeeping for run(): `self.jobs` is
-        # sorted by (submission_time, name), so admission is a pointer walk
-        # instead of a full rescan each tick, and `_active` drops jobs as
-        # they complete.  active_jobs() remains the stateless scan for
-        # external callers driving the simulator manually.
-        self._active: List[SimJob] = []
-        self._next_submit_idx = 0
-        # Lazily rebuilt (J_active, N) allocation matrix; `_alloc_version`
-        # bumps on any event that can change it (scheduling, resize,
-        # completion, admission) and `_alloc_cache` pairs a version with
-        # the matrix built at that version.
-        self._alloc_version = 0
-        self._alloc_cache: Optional[tuple] = None
-        self._refresh_type_cache()
+        self.event_sink = self._policy_event_sink
 
-    def _refresh_type_cache(self) -> None:
-        """Cache the cluster's GPU-type structure (changes only on resize)."""
-        self._type_ids = self.cluster.node_type_ids()
-        self._type_names = tuple(t.name for t in self.cluster.gpu_types)
-        self._type_caps = tuple(int(c) for c in self.cluster.type_capacities())
-        #: (T, N) 0/1 membership matrix for vectorized per-type GPU sums.
-        self._type_masks = (
-            self._type_ids[None, :]
-            == np.arange(len(self._type_names))[:, None]
-        ).astype(np.int64)
+    def _policy_event_sink(self, kind: str, now: float, job: SimJob) -> None:
+        """Relay engine lifecycle events to the policy (see
+        :func:`~repro.policy.dispatch.relay_job_event`: report-free
+        snapshots, the same relay code path the wall-clock host uses)."""
+        relay_job_event(self.policy, kind, now, job)
 
     # ------------------------------------------------------------------
-    # Helpers
+    # Dispatch helpers
     # ------------------------------------------------------------------
-
-    def active_jobs(self) -> List[SimJob]:
-        """Submitted, unfinished jobs."""
-        return [
-            j
-            for j in self.jobs
-            if j.submission_time <= self.now and not j.complete
-        ]
-
-    def _admit_submitted(self) -> None:
-        """Move newly submitted jobs into the active list (in order).
-
-        Emits ``on_job_submitted`` lifecycle events to the policy (with
-        report-free snapshots — agent reports are attached only at
-        scheduling/autoscale dispatch events, see :func:`snapshot_job`).
-        """
-        jobs = self.jobs
-        idx = self._next_submit_idx
-        while idx < len(jobs) and jobs[idx].submission_time <= self.now:
-            job = jobs[idx]
-            self._active.append(job)
-            idx += 1
-            self._alloc_version += 1
-            self.policy.on_job_submitted(self.now, snapshot_job(job))
-        self._next_submit_idx = idx
 
     def _snapshot_state(self) -> ClusterState:
         """Frozen policy-facing view of the cluster and active jobs.
@@ -257,13 +156,8 @@ class Simulator:
         (memoized, deterministic) model fit, so the report-call schedule
         is pinned to dispatch events to keep decision streams exact.
         """
-        with_report = self.policy.capabilities.needs_agent
-        return ClusterState(
-            cluster=self.cluster,
-            jobs=tuple(
-                snapshot_job(job, with_report=with_report)
-                for job in self._active
-            ),
+        return build_cluster_state(
+            self.cluster, self._active, self.policy.capabilities
         )
 
     def _apply_decision(
@@ -271,161 +165,18 @@ class Simulator:
     ) -> None:
         """Apply one ScheduleDecision: batch sizes, allocations, resize.
 
-        Policy-fixed batch sizes land before the allocations (matching the
-        pre-API behavior where e.g. the Or-et-al scheduler set them inside
-        ``schedule``); a bundled resize request is honored last, and only
-        for policies whose capabilities declare ``autoscales``.
+        Shared with the wall-clock host via
+        :func:`repro.policy.dispatch.apply_decision` — policy-fixed batch
+        sizes land before the allocations, and a bundled resize request is
+        honored last (only for ``autoscales`` policies).
         """
-        for job in jobs:
-            batch_size = decision.batch_sizes.get(job.name)
-            if batch_size is not None:
-                job.batch_size = float(batch_size)
-        self._apply_allocations(decision.allocations, jobs)
-        if (
-            decision.resize is not None
-            and self.policy.capabilities.autoscales
-        ):
-            self._resize_cluster(
-                int(decision.resize.num_nodes),
-                grow_with=decision.resize.grow_node_spec,
-            )
-
-    def _alloc_matrix(self, jobs: Sequence[SimJob]) -> np.ndarray:
-        """The active jobs' allocations as one (J, N) int matrix.
-
-        Rebuilt only when `_alloc_version` changed since the cached build;
-        between scheduling events the same matrix serves every tick's
-        cluster-level accounting (node usage, per-type usage, interference
-        detection) as single numpy reductions.
-        """
-        cached = self._alloc_cache
-        if cached is not None and cached[0] == self._alloc_version:
-            return cached[1]
-        if jobs:
-            matrix = np.stack([job.allocation for job in jobs])
-        else:
-            matrix = np.zeros((0, self.cluster.num_nodes), dtype=np.int64)
-        self._alloc_cache = (self._alloc_version, matrix)
-        return matrix
-
-    def _interference_mask(self, matrix: np.ndarray) -> Optional[np.ndarray]:
-        """Boolean (J,) mask of jobs slowed by interference, or None.
-
-        A distributed job is slowed when it shares a node with another
-        distributed job (Sec. 5.3.2); computed as array reductions over the
-        allocation matrix.
-        """
-        occupied = matrix > 0
-        distributed = occupied.sum(axis=1) >= 2
-        if int(distributed.sum()) < 2:
-            return None
-        sharing = (occupied & distributed[:, None]).sum(axis=0) >= 2  # (N,)
-        if not sharing.any():
-            return None
-        affected = distributed & occupied[:, sharing].any(axis=1)
-        return affected
-
-    def _apply_allocations(
-        self, allocations: Dict[str, np.ndarray], jobs: Sequence[SimJob]
-    ) -> None:
-        for job in jobs:
-            alloc = allocations.get(job.name)
-            if alloc is not None:
-                job.apply_allocation(alloc, self.now, self.config.restart_delay)
-        if allocations:
-            self._alloc_version += 1
-
-    def _resize_cluster(
-        self, num_nodes: int, grow_with: Optional["NodeSpec"] = None
-    ) -> None:
-        """Grow or shrink the cluster; jobs that lose GPUs restart.
-
-        Every job's allocation vector is reshaped to the new node count
-        (dropped nodes truncate from the end, new nodes start empty); a
-        restart is counted only when the job actually lost GPUs on dropped
-        nodes and still holds some.
-        """
-        if num_nodes == self.cluster.num_nodes:
-            return
-        keep = min(self.cluster.num_nodes, num_nodes)
-        self.cluster = self.cluster.resized(num_nodes, grow_with=grow_with)
-        self._refresh_type_cache()
-        self._alloc_version += 1
-        node_speeds = self.cluster.node_speeds()
-        for job in self.jobs:
-            old_alloc = job.allocation
-            lost = int(old_alloc[keep:].sum()) > 0
-            new_alloc = np.zeros(num_nodes, dtype=np.int64)
-            new_alloc[:keep] = old_alloc[:keep]
-            job.allocation = new_alloc
-            job.node_speeds = node_speeds
-            if lost and job.num_gpus > 0:
-                job.restart_until = self.now + self.config.restart_delay
-                job.num_restarts += 1
-
-    def _tune_batch_sizes(self, jobs: Sequence[SimJob]) -> None:
-        """Let each running Pollux job's agent re-tune its batch size."""
-        cfg = self.config
-        method = "search" if cfg.batch_tuning in ("golden", "search") else "table"
-        for job in jobs:
-            if job.num_gpus == 0:
-                continue
-            try:
-                batch_size, _ = job.agent.tune_batch_size(
-                    job.num_nodes_occupied,
-                    job.num_gpus,
-                    job.current_speed,
-                    method=method,
-                    points_per_octave=cfg.tuning_points_per_octave,
-                )
-            except ValueError:
-                continue
-            job.batch_size = float(batch_size)
-
-    def _observe(self, job: SimJob, slowdown: float) -> None:
-        """Feed noisy ground-truth measurements to the job's agent."""
-        cfg = self.config
-        t_iter = job.t_iter_true(slowdown)
-        t_obs = t_iter * float(
-            self._rng.lognormal(mean=0.0, sigma=cfg.profile_noise)
+        apply_decision(
+            decision,
+            jobs,
+            self.policy.capabilities,
+            apply_allocations=self._apply_allocations,
+            resize_cluster=self._resize_cluster,
         )
-        job.agent.record_iteration(
-            job.num_nodes_occupied,
-            job.num_gpus,
-            job.batch_size,
-            t_obs,
-            speed=job.current_speed,
-        )
-        phi_obs = job.phi_true() * float(
-            self._rng.lognormal(mean=0.0, sigma=cfg.gns_noise)
-        )
-        # Decompose phi into (var, sqr) at m0 scale: var = phi / m0, sqr = 1.
-        job.agent.record_grad_stats(
-            var=phi_obs / job.agent.init_batch_size, sqr=1.0
-        )
-
-    def _advance(self, job: SimJob, dt: float, slowdown: float) -> None:
-        """Advance one job by dt seconds of wall-clock time."""
-        if job.num_gpus == 0:
-            return
-        job.gputime += job.num_gpus * dt
-        run_start = max(self.now, job.restart_until)
-        run_time = self.now + dt - run_start
-        if run_time <= 0:
-            return
-        rate = job.goodput_true(slowdown)
-        if rate <= 0:
-            return
-        new_progress = job.progress + rate * run_time
-        if new_progress >= job.target:
-            remaining = job.target - job.progress
-            finish_offset = remaining / rate
-            job.progress = job.target
-            job.finish_time = run_start + finish_offset
-            job.allocation = np.zeros_like(job.allocation)
-            self._alloc_version += 1
-        else:
-            job.progress = new_progress
 
     # ------------------------------------------------------------------
     # Main loop
@@ -439,7 +190,8 @@ class Simulator:
         rescans), and computes all cluster-level accounting — node usage,
         per-type usage, interference detection — as numpy reductions over
         one ``(J, N)`` allocation matrix that is rebuilt only when an
-        allocation actually changed.
+        allocation actually changed (see :class:`~repro.sim.engine.
+        ClusterEngine`).
 
         All policy dispatch goes through the Policy API: capability checks
         decide *whether* an event fires (autoscale cadence, agent
@@ -450,7 +202,6 @@ class Simulator:
         policy = self.policy
         result = SimResult(scheduler_name=policy.name)
         max_time = cfg.max_hours * 3600.0
-        interference_on = cfg.interference_slowdown > 0.0
         self._admit_submitted()
 
         while self.now < max_time:
@@ -460,19 +211,16 @@ class Simulator:
             # each dispatch, e.g. a hook adjusting its own interval).
             caps = policy.capabilities
             if not self._active:
-                if self._next_submit_idx >= len(self.jobs):
+                if not self.pending_submissions():
                     break
                 # Fast-forward to the next submission, advancing every
                 # periodic timer past the idle gap (the autoscaler timer
                 # included — leaving it in the past would be inconsistent
                 # with the other two, although either way it fires at the
                 # first post-idle tick).
-                next_submit = self.jobs[self._next_submit_idx].submission_time
-                skip = (next_submit - self.now) // cfg.tick_seconds
-                if skip >= 1:
-                    idle = skip * cfg.tick_seconds
+                idle = self.idle_skip()
+                if idle > 0:
                     result.node_seconds += self.cluster.num_nodes * idle
-                    self.now += idle
                     self._next_schedule = max(self._next_schedule, self.now)
                     self._next_agent = max(self._next_agent, self.now)
                     self._next_autoscale = max(self._next_autoscale, self.now)
@@ -509,92 +257,15 @@ class Simulator:
                     self._tune_batch_sizes(active)
                 self._next_agent = self.now + cfg.agent_interval
 
-            matrix = self._alloc_matrix(active)
-            affected = (
-                self._interference_mask(matrix) if interference_on else None
-            )
-            needs_agent = caps.needs_agent
-            for idx, job in enumerate(active):
-                slowdown = (
-                    cfg.interference_slowdown
-                    if affected is not None and affected[idx]
-                    else 0.0
-                )
-                if (
-                    needs_agent
-                    and job.num_gpus > 0
-                    and self.now >= job.restart_until
-                ):
-                    self._observe(job, slowdown)
-                self._advance(job, cfg.tick_seconds, slowdown)
-
-            if self._alloc_cache is None or self._alloc_cache[0] != self._alloc_version:
-                # A job completed this tick (its allocation was zeroed).
-                self._active = [j for j in active if not j.complete]
-                for job in active:
-                    if job.complete:
-                        self.policy.on_job_completed(
-                            self.now, snapshot_job(job)
-                        )
-                active = self._active
-                matrix = self._alloc_matrix(active)
-
-            node_used = matrix.sum(axis=0)
-            gpus_in_use = int(node_used.sum())
-            running = 0
-            pending = 0
-            running_efficiencies: List[float] = []
-            for job in active:
-                if job.num_gpus == 0:
-                    pending += 1
-                elif self.now >= job.restart_until:
-                    running += 1
-                    running_efficiencies.append(job.efficiency_true())
-            if len(self._type_names) == 1:
-                gpus_by_type = (gpus_in_use,)
-            else:
-                gpus_by_type = tuple(
-                    int(g) for g in self._type_masks @ node_used
-                )
             result.timeline.append(
-                TimelineSample(
-                    time=self.now,
-                    num_nodes=self.cluster.num_nodes,
-                    gpus_in_use=gpus_in_use,
-                    total_gpus=self.cluster.total_gpus,
-                    running_jobs=running,
-                    pending_jobs=pending,
-                    mean_efficiency=(
-                        float(np.mean(running_efficiencies))
-                        if running_efficiencies
-                        else 0.0
-                    ),
-                    mean_speedup_utility=float(policy.last_utility),
-                    gpu_type_names=self._type_names,
-                    gpus_in_use_by_type=gpus_by_type,
-                    total_gpus_by_type=self._type_caps,
-                )
+                self.run_one_tick(caps.needs_agent, float(policy.last_utility))
             )
             result.node_seconds += self.cluster.num_nodes * cfg.tick_seconds
-            self.now += cfg.tick_seconds
-            self._admit_submitted()
 
-            if not self._active and self._next_submit_idx >= len(self.jobs):
+            if not self._active and not self.pending_submissions():
                 break
 
         result.end_time = self.now
         for job in self.jobs:
-            result.records.append(
-                JobRecord(
-                    name=job.name,
-                    model=job.model.name,
-                    category=job.model.category,
-                    submission_time=job.submission_time,
-                    start_time=job.start_time,
-                    finish_time=job.finish_time,
-                    gputime=job.gputime,
-                    num_restarts=job.num_restarts,
-                    user_configured=job.spec.user_configured,
-                )
-            )
+            result.records.append(JobRecord.from_job(job))
         return result

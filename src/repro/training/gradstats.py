@@ -21,7 +21,7 @@ adjacent iterations, Var ~ |g(t) - g(t-1)|^2 / 2 and mu^2 ~ g(t).g(t-1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

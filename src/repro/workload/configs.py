@@ -19,7 +19,6 @@ performs on its testbed), at a representative mid-training moment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Tuple
 

@@ -1,6 +1,5 @@
 """Tests for PolluxAgent: profiling, online fitting, tuning (Sec. 4.1)."""
 
-import numpy as np
 import pytest
 
 from repro.core import PolluxAgent, optimistic_params

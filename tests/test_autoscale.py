@@ -1,6 +1,5 @@
 """Tests for goodput-based cloud auto-scaling (Sec. 4.2.2)."""
 
-import numpy as np
 import pytest
 
 from repro.core import AutoscaleConfig, UtilityAutoscaler

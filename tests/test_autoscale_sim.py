@@ -1,7 +1,6 @@
 """Tests for cluster resizing inside the simulator (auto-scaling mechanics)."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import ClusterSpec
 from repro.sim import SimConfig, Simulator

@@ -4,7 +4,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
@@ -45,3 +44,17 @@ def test_heterogeneous_cluster_runs():
     assert "per-type SPEEDUP table" in out
     assert "v100" in out
     assert "per-type GPU utilization" in out
+
+
+def test_live_scheduler_runs():
+    out = run_example(
+        "live_scheduler.py", "--jobs", "2", "--time-scale", "2400"
+    )
+    assert "starting live host" in out
+    assert "scheduling rounds" in out
+    assert "live host done" in out
+
+
+def test_live_scheduler_replay_agrees():
+    out = run_example("live_scheduler.py", "--replay", "--jobs", "4")
+    assert "bit-for-bit agreement" in out

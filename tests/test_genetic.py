@@ -3,13 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterSpec, validate_allocation_matrix
+from repro.cluster import validate_allocation_matrix
 from repro.core import (
     AllocationProblem,
-    EfficiencyModel,
     GAConfig,
     GeneticOptimizer,
-    GoodputModel,
     JobGAInfo,
     build_speedup_table,
 )

@@ -33,12 +33,16 @@ class TestContinuous:
 
     def test_asymmetric_unimodal(self):
         # A skewed unimodal function: x * exp(-x / 7).
-        fn = lambda x: x * math.exp(-x / 7.0)
+        def fn(x):
+            return x * math.exp(-x / 7.0)
+
         x, _ = golden_section_search(fn, 0.0, 50.0, tol=1e-6)
         assert abs(x - 7.0) < 1e-3
 
     def test_tolerance_controls_precision(self):
-        fn = lambda x: -((x - math.pi) ** 2)
+        def fn(x):
+            return -((x - math.pi) ** 2)
+
         x_coarse, _ = golden_section_search(fn, 0.0, 10.0, tol=1.0)
         x_fine, _ = golden_section_search(fn, 0.0, 10.0, tol=1e-9)
         assert abs(x_fine - math.pi) <= abs(x_coarse - math.pi) + 1e-12
@@ -86,7 +90,9 @@ class TestInteger:
         for _ in range(25):
             peak = int(rng.integers(0, 200))
             scale = float(rng.uniform(0.5, 3.0))
-            fn = lambda v, p=peak, s=scale: -s * (v - p) ** 2
+            def fn(v, p=peak, s=scale):
+                return -s * (v - p) ** 2
+
             x, _ = golden_section_search_int(fn, 0, 199)
             expected = int(np.argmax([fn(v) for v in range(200)]))
             assert x == expected

@@ -24,7 +24,7 @@ from repro.core import (
     project_throughput_params,
 )
 from repro.core.agent import PolluxAgent
-from repro.core.speedup import MULTI_NODE, SINGLE_NODE
+from repro.core.speedup import SINGLE_NODE
 from repro.policy import PolluxPolicy, TiresiasPolicy
 from repro.sim import SimConfig, SimJob, Simulator
 from repro.workload import TraceConfig, generate_heterogeneous_workload, generate_trace

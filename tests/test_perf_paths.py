@@ -10,7 +10,6 @@ what these tests pin down.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.efficiency import efficiency, efficiency_scalar
 from repro.core.goodput import BatchSizeLimits, GoodputModel

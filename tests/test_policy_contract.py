@@ -4,8 +4,12 @@ Parameterized over ``repro.policy.available()``: whatever is in the
 registry — including policies added later — must uphold the Policy API
 contract: registry construction with uniform ``cluster``/``seed`` kwargs,
 allocations only for active jobs on feasible vectors, graceful empty-state
-handling, snapshot immutability, and capabilities that the simulator
-actually honors (profiling, batch-size tuning, autoscale dispatch).
+handling, snapshot immutability, and capabilities that every *host*
+actually honors (profiling, batch-size tuning, autoscale dispatch).  The
+capability/dispatch sections run parameterized over both hosts — the
+discrete-time simulator and the wall-clock PolicyHost on a replayed trace
+— pinning that capability handling and lifecycle events behave
+identically no matter which host drives the policy.
 """
 
 import dataclasses
@@ -16,10 +20,10 @@ import pytest
 import repro.policy
 from repro.cluster import ClusterSpec, validate_allocation_matrix
 from repro.core import AutoscaleConfig, GAConfig, PolluxSchedConfig
+from repro.host import PolicyHost, ReplayBackend
 from repro.policy import (
     ClusterResizeRequest,
     ClusterState,
-    JobSnapshot,
     Policy,
     PolicyCapabilities,
     ScheduleDecision,
@@ -33,6 +37,24 @@ ALL_POLICIES = repro.policy.available()
 
 #: Policies constrained to the single-job cloud scenario.
 SINGLE_JOB_POLICIES = {"orelastic"}
+
+#: Both hosts of the Policy API; the capability/dispatch contract tests
+#: run against each.
+HOSTS = ("simulator", "policyhost")
+
+
+def run_host(host, cluster, policy, trace, config):
+    """Run ``trace`` through the chosen host; returns (result, jobs).
+
+    ``jobs`` are the host's runtime job objects (for asserting profiling
+    and batch-size behavior after the run).
+    """
+    if host == "simulator":
+        sim = Simulator(cluster, policy, trace, config)
+        return sim.run(), sim.jobs
+    backend = ReplayBackend(cluster, trace, config)
+    result = PolicyHost(policy, backend).run()
+    return result, backend.engine.jobs
 
 
 def make_policy(name: str, cluster: ClusterSpec, seed: int = 0) -> Policy:
@@ -242,39 +264,41 @@ def _trace(cluster, count=3, gpus=2):
     ]
 
 
-class TestSimulatorHonorsCapabilities:
+class TestHostsHonorCapabilities:
+    @pytest.mark.parametrize("host", HOSTS)
     @pytest.mark.parametrize("name", ALL_POLICIES)
-    def test_agent_profiling_matches_needs_agent(self, name):
+    def test_agent_profiling_matches_needs_agent(self, name, host):
         cluster = ClusterSpec.homogeneous(2, 4)
         policy = make_policy(name, cluster)
         count = 1 if name in SINGLE_JOB_POLICIES else 3
-        sim = Simulator(
+        _, jobs = run_host(
+            host,
             cluster,
             policy,
             _trace(cluster, count),
             SimConfig(seed=0, max_hours=1.0),
         )
-        sim.run()
-        profiled = any(job.agent.profile_entries() for job in sim.jobs)
+        profiled = any(job.agent.profile_entries() for job in jobs)
         assert profiled == policy.capabilities.needs_agent
 
+    @pytest.mark.parametrize("host", HOSTS)
     @pytest.mark.parametrize("name", sorted(set(ALL_POLICIES) - {"pollux"}))
-    def test_fixed_batch_size_without_adaptation(self, name):
+    def test_fixed_batch_size_without_adaptation(self, name, host):
         # Policies without adapts_batch_size never get agent re-tuning;
         # batch sizes stay at the submitted value unless the policy fixed
         # them itself through ScheduleDecision.batch_sizes (orelastic).
         cluster = ClusterSpec.homogeneous(2, 4)
         policy = make_policy(name, cluster)
         count = 1 if name in SINGLE_JOB_POLICIES else 2
-        sim = Simulator(
+        _, jobs = run_host(
+            host,
             cluster,
             policy,
             _trace(cluster, count),
             SimConfig(seed=0, max_hours=1.0),
         )
-        sim.run()
         assert not policy.capabilities.adapts_batch_size
-        for job in sim.jobs:
+        for job in jobs:
             if name in SINGLE_JOB_POLICIES:
                 limits = job.model.limits
                 assert job.batch_size == min(
@@ -284,12 +308,17 @@ class TestSimulatorHonorsCapabilities:
             else:
                 assert job.batch_size == float(job.spec.fixed_batch_size)
 
-    def test_simulator_records_policy_name(self):
+    @pytest.mark.parametrize("host", HOSTS)
+    def test_result_records_policy_name(self, host):
         cluster = ClusterSpec.homogeneous(2, 4)
         policy = make_policy("tiresias", cluster)
-        result = Simulator(
-            cluster, policy, _trace(cluster, 2), SimConfig(seed=0, max_hours=1.0)
-        ).run()
+        result, _ = run_host(
+            host,
+            cluster,
+            policy,
+            _trace(cluster, 2),
+            SimConfig(seed=0, max_hours=1.0),
+        )
         assert result.scheduler_name == "tiresias"
 
 
@@ -350,17 +379,18 @@ class _ResizingPolicy(_RecordingPolicy):
         )
 
 
+@pytest.mark.parametrize("host", HOSTS)
 class TestDispatch:
-    def test_lifecycle_events_fire(self):
+    def test_lifecycle_events_fire(self, host):
         cluster = ClusterSpec.homogeneous(2, 4)
         policy = _RecordingPolicy()
-        sim = Simulator(
+        run_host(
+            host,
             cluster,
             policy,
             _trace(cluster, 2, gpus=4),
             SimConfig(seed=0, max_hours=20.0),
         )
-        sim.run()
         submitted = [e for e in policy.events if e[0] == "submitted"]
         completed = [e for e in policy.events if e[0] == "completed"]
         assert [e[2] for e in submitted] == ["job-0", "job-1"]
@@ -368,29 +398,31 @@ class TestDispatch:
         assert all(e[3] is None for e in submitted)
         assert sorted(e[2] for e in completed) == ["job-0", "job-1"]
 
-    def test_bundled_resize_honored_with_capability(self):
+    def test_bundled_resize_honored_with_capability(self, host):
         cluster = ClusterSpec.homogeneous(2, 4)
-        sim = Simulator(
+        policy = _ResizingPolicy(target_nodes=4, autoscales=True)
+        result, _ = run_host(
+            host,
             cluster,
-            _ResizingPolicy(target_nodes=4, autoscales=True),
+            policy,
             _trace(cluster, 1),
             SimConfig(seed=0, max_hours=0.5),
         )
-        sim.run()
-        assert sim.cluster.num_nodes == 4
+        assert result.timeline[-1].num_nodes == 4
 
-    def test_bundled_resize_ignored_without_capability(self):
+    def test_bundled_resize_ignored_without_capability(self, host):
         cluster = ClusterSpec.homogeneous(2, 4)
-        sim = Simulator(
+        policy = _ResizingPolicy(target_nodes=4, autoscales=False)
+        result, _ = run_host(
+            host,
             cluster,
-            _ResizingPolicy(target_nodes=4, autoscales=False),
+            policy,
             _trace(cluster, 1),
             SimConfig(seed=0, max_hours=0.5),
         )
-        sim.run()
-        assert sim.cluster.num_nodes == 2
+        assert result.timeline[-1].num_nodes == 2
 
-    def test_decide_resize_cadence(self):
+    def test_decide_resize_cadence(self, host):
         calls = []
 
         class CadencePolicy(_RecordingPolicy):
@@ -403,18 +435,18 @@ class TestDispatch:
                 return None  # keep current size
 
         cluster = ClusterSpec.homogeneous(2, 4)
-        sim = Simulator(
+        run_host(
+            host,
             cluster,
             CadencePolicy(),
             _trace(cluster, 1),
             SimConfig(seed=0, max_hours=0.25),
         )
-        sim.run()
         assert calls, "decide_resize never dispatched"
         gaps = np.diff(calls)
         assert (gaps >= 120.0).all()
 
-    def test_needs_agent_snapshots_carry_reports(self):
+    def test_needs_agent_snapshots_carry_reports(self, host):
         cluster = ClusterSpec.homogeneous(2, 4)
         seen = []
 
@@ -427,11 +459,11 @@ class TestDispatch:
                 seen.extend(snap.agent_report for snap in state.jobs)
                 return super().schedule(now, state)
 
-        sim = Simulator(
+        run_host(
+            host,
             cluster,
             AgentPolicy(),
             _trace(cluster, 1),
             SimConfig(seed=0, max_hours=0.25),
         )
-        sim.run()
         assert seen and all(report is not None for report in seen)

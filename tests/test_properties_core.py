@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the core goodput machinery."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -146,13 +145,17 @@ class TestGoldenSectionProperties:
     )
     @settings(max_examples=200, deadline=None)
     def test_finds_quadratic_peak(self, peak, width, lo, hi):
-        fn = lambda x: -((x - peak) / width) ** 2
+        def fn(x):
+            return -((x - peak) / width) ** 2
+
         x, _ = golden_section_search(fn, lo, hi, tol=1e-7)
         assert abs(x - peak) < 1e-3
 
     @given(peak=st.integers(0, 500))
     @settings(max_examples=100, deadline=None)
     def test_integer_search_exact(self, peak):
-        fn = lambda v: -abs(v - peak)
+        def fn(v):
+            return -abs(v - peak)
+
         x, _ = golden_section_search_int(fn, 0, 500)
         assert x == peak

@@ -6,7 +6,6 @@ import pytest
 from repro.cluster import ClusterSpec, validate_allocation_matrix
 from repro.core import (
     AgentReport,
-    EfficiencyModel,
     GAConfig,
     PolluxSched,
     PolluxSchedConfig,

@@ -1,6 +1,5 @@
 """Tests for the ElasticTrainer (PolluxAgent on real numpy training)."""
 
-import numpy as np
 import pytest
 
 from repro.training import ElasticTrainer, LinearRegressionProblem
