@@ -24,9 +24,11 @@ Run modes:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -195,9 +197,27 @@ def bench_sched_round(
     def one_cold_round() -> None:
         PolluxSched(cluster, config, seed=1).optimize(jobs)
 
+    # The cells-persistence lever: a restarted scheduler that pre-warms
+    # its surface cache from the previous process's phi-free cells
+    # snapshot (``PolluxSchedConfig(cells_path=...)``).  Legacy runs have
+    # no cells entries, so their "warm" cold round equals the plain one.
+    cells_file = tempfile.NamedTemporaryFile(suffix=".npz", delete=False)
+    cells_file.close()
+    try:
+        sched.save_cells(cells_file.name)
+        warm_config = dataclasses.replace(config, cells_path=cells_file.name)
+
+        def one_warm_cells_round() -> None:
+            PolluxSched(cluster, warm_config, seed=1).optimize(jobs)
+
+        cold_warm_cells_ms = _median_ms(one_warm_cells_round, repeats)
+    finally:
+        os.unlink(cells_file.name)
+
     return {
         "steady_ms": round(float(np.median(steady)), 3),
         "cold_ms": round(_median_ms(one_cold_round, repeats), 3),
+        "cold_warm_cells_ms": round(cold_warm_cells_ms, 3),
         "phase_ms": phase_ms,
     }
 
@@ -335,6 +355,9 @@ def run_bench() -> Dict[str, object]:
         # round (see bench_sched_round).
         "sched_round_ms": round_default["steady_ms"],
         "sched_round_cold_ms": round_default["cold_ms"],
+        # Restart with a cells_path snapshot: the cold round minus the
+        # phi-free TputCells rebuilds (the persistence lever).
+        "sched_round_cold_warm_cells_ms": round_default["cold_warm_cells_ms"],
         "sched_phase_ms": round_default["phase_ms"],
         "sched_round_legacy_ms": round_legacy["steady_ms"],
         "sched_round_legacy_cold_ms": round_legacy["cold_ms"],
@@ -360,7 +383,8 @@ def _print_report(data: Dict[str, object]) -> None:
     print_header("Perf: scheduling/simulation hot path")
     print(
         f"sched round (v2)     {data['sched_round_ms']:10.2f} ms steady  "
-        f"{data['sched_round_cold_ms']:10.2f} ms cold"
+        f"{data['sched_round_cold_ms']:10.2f} ms cold  "
+        f"{data['sched_round_cold_warm_cells_ms']:10.2f} ms cold+cells"
     )
     print(
         f"sched round (legacy) {data['sched_round_legacy_ms']:10.2f} ms steady  "

@@ -129,8 +129,9 @@ def make_scheduler(policy: str, cluster: ClusterSpec, scale: BenchScale = SCALE,
     ``PolluxSchedConfig`` fields), Optimus gets the cluster-wide GPU cap.
     """
     kwargs: Dict[str, object] = {"cluster": cluster, "seed": seed}
-    scale_kwargs = {
-        "pollux": lambda: {
+
+    def pollux_config():
+        return {
             "config": PolluxSchedConfig(
                 ga=GAConfig(
                     population_size=scale.ga_population,
@@ -138,7 +139,11 @@ def make_scheduler(policy: str, cluster: ClusterSpec, scale: BenchScale = SCALE,
                 ),
                 **pollux_kwargs,
             )
-        },
+        }
+
+    scale_kwargs = {
+        "pollux": pollux_config,
+        "pollux-sharded": pollux_config,
         "optimus": lambda: {"max_gpus_per_job": cluster.total_gpus},
     }
     extra = scale_kwargs.get(repro.policy.canonical(policy))

@@ -517,11 +517,13 @@ class GeneticOptimizerV2(GeneticOptimizer):
     Differences from the legacy engine, all benchmarked in
     ``benchmarks/bench_ga_engines.py``:
 
-    - **Vectorized repair.**  Job-cap and capacity repair remove each
-      violating row's/column's excess in one batched pass: the excess is
-      split proportionally to the entry counts with the fractional
-      remainder rounded by random priorities (randomized largest-remainder
-      rounding), instead of per-violation hypergeometric draws.
+    - **Vectorized repair.**  Job-cap and capacity repair are *fused*:
+      over-cap job rows and over-capacity node columns are stacked into a
+      single counts matrix and resolved by one :meth:`_batched_remove`
+      call — the excess is split proportionally to the entry counts with
+      the fractional remainder rounded by random priorities (randomized
+      largest-remainder rounding), instead of per-violation hypergeometric
+      draws (see :meth:`_repair_caps_capacity`).
       Interference repair runs node-major passes batched over the whole
       population — every member's first violating node keeps one uniformly
       random distributed job — with the distributed set recomputed between
@@ -549,6 +551,10 @@ class GeneticOptimizerV2(GeneticOptimizer):
     seed-averaged JCT parity on the fig-6 trace (±2%), not bit-identity.
     """
 
+    #: Optional (J,) bool mask restricting mutation to dirty jobs' rows
+    #: (incremental rounds).  ``None`` — the default — mutates every row.
+    _mutate_rows: Optional[np.ndarray] = None
+
     def _mutate(self, population: np.ndarray) -> np.ndarray:
         """Same operator as legacy, with a scalar-bound RNG fast path.
 
@@ -556,14 +562,25 @@ class GeneticOptimizerV2(GeneticOptimizer):
         upper bound is substantially cheaper than the broadcast-array
         bound; the draw distribution is identical, only the stream differs
         (which the v2 engine is free to do).
+
+        When ``run(..., mutate_rows=...)`` supplied a dirty-row mask, the
+        mutation mask is intersected with it: clean jobs' rows pass through
+        unchanged, so an incremental round only explores reallocations
+        involving jobs whose inputs actually moved.  The random draws are
+        still made for every entry — masking filters, it does not reshape
+        the stream — which keeps the operator's cost profile and RNG
+        consumption independent of the dirty-set size.
         """
         caps = self.problem.capacities
-        if caps.size == 0 or caps.min() != caps.max():
-            return super()._mutate(population)
         prob = 1.0 / max(self.problem.num_nodes, 1)
         shape = population.shape
         mask = self.rng.random(shape) < prob
-        random_vals = self.rng.integers(0, int(caps[0]) + 1, size=shape)
+        if self._mutate_rows is not None:
+            mask &= self._mutate_rows[None, :, None]
+        if caps.size and caps.min() == caps.max():
+            random_vals = self.rng.integers(0, int(caps[0]) + 1, size=shape)
+        else:
+            random_vals = self.rng.integers(0, caps[None, None, :] + 1, size=shape)
         return np.where(mask, random_vals, population)
 
     # ------------------------------------------------------------------
@@ -613,27 +630,88 @@ class GeneticOptimizerV2(GeneticOptimizer):
             deficit[rows] -= 1
         return removal
 
-    def _repair_job_caps(self, pop: np.ndarray) -> None:
-        """Batched removal of each over-cap row's excess GPUs."""
-        totals = pop.sum(axis=-1)
-        excess = totals - self.problem.max_gpus[None, :]
-        where_p, where_j = np.where(excess > 0)
-        if len(where_p) == 0:
-            return
-        rows = pop[where_p, where_j]  # (V, N)
-        removal = self._batched_remove(rows, excess[where_p, where_j])
-        pop[where_p, where_j] = rows - removal
+    def _repair(self, population: np.ndarray) -> np.ndarray:
+        """Type groups, then fused caps+capacity, then interference."""
+        t0 = time.perf_counter()
+        pop = population.copy()
+        if self.problem.num_types > 1:
+            self._repair_type_groups(pop)
+        self._repair_caps_capacity(pop)
+        if self.problem.forbid_interference:
+            self._repair_interference(pop)
+        self.phase_ms["repair_ms"] += (time.perf_counter() - t0) * 1000.0
+        return pop
 
-    def _repair_capacity(self, pop: np.ndarray) -> None:
-        """Batched removal of each over-capacity column's excess GPUs."""
-        used = pop.sum(axis=1)  # (P, N)
-        excess = used - self.problem.capacities[None, :]
-        where_p, where_n = np.where(excess > 0)
-        if len(where_p) == 0:
+    def _repair_caps_capacity(self, pop: np.ndarray) -> None:
+        """Fused job-cap + node-capacity repair in one batched pass.
+
+        Both violation sets are detected on the *same* input matrix and
+        fed through a single :meth:`_batched_remove` call: over-cap job
+        rows (length N) and over-capacity node columns (length J) are
+        padded to a common width and stacked into one counts matrix, so the
+        proportional split, the randomized largest-remainder rounding, and
+        the argsort behind it all run once over the combined violation set
+        instead of twice sequentially.
+
+        Application stays order-correct: row removals land first (exact —
+        every over-cap job ends at or below its cap, and later column
+        removals only shrink rows further), then each violating column's
+        removal is re-targeted at its *remaining* excess.  A column whose
+        entries no row removal touched applies the fused draw as-is (its
+        total already equals the excess).  Columns that overlapped a row
+        removal are *redrawn* against the post-row-removal state with a
+        second proportional :meth:`_batched_remove` — exactly what the
+        sequential form did for every column.  The redraw matters: a
+        deterministic fix-up (e.g. clipping plus argmax give-back) skews
+        removals toward the largest allocations and measurably degrades
+        seed-averaged JCT parity, while the randomized-proportional redraw
+        preserves the repair distribution.  Column removals only subtract,
+        so already-satisfied row caps stay satisfied.  The combined stream
+        differs from the sequential form's (still seeded, still
+        deterministic) — a decision-stream change within the v2 engine's
+        benchmarked-equivalence tier.
+        """
+        num_jobs = self.problem.num_jobs
+        num_nodes = self.problem.num_nodes
+        row_totals = pop.sum(axis=-1)  # (P, J)
+        row_excess = row_totals - self.problem.max_gpus[None, :]
+        row_p, row_j = np.where(row_excess > 0)
+        col_totals = pop.sum(axis=1)  # (P, N)
+        col_excess = col_totals - self.problem.capacities[None, :]
+        col_p, col_n = np.where(col_excess > 0)
+        n_rows, n_cols = len(row_p), len(col_p)
+        if n_rows == 0 and n_cols == 0:
             return
-        cols = pop[where_p, :, where_n]  # (V, J)
-        removal = self._batched_remove(cols, excess[where_p, where_n])
-        pop[where_p, :, where_n] = cols - removal
+
+        width = max(num_nodes, num_jobs)
+        counts = np.zeros((n_rows + n_cols, width), dtype=np.int64)
+        if n_rows:
+            counts[:n_rows, :num_nodes] = pop[row_p, row_j]
+        if n_cols:
+            counts[n_rows:, :num_jobs] = pop[col_p, :, col_n]
+        excess = np.concatenate(
+            [row_excess[row_p, row_j], col_excess[col_p, col_n]]
+        )
+        removal = self._batched_remove(counts, excess)
+
+        if n_rows:
+            pop[row_p, row_j] -= removal[:n_rows, :num_nodes]
+        if n_cols:
+            cols = pop[col_p, :, col_n]  # (V, J), post-row-removal
+            take = np.minimum(removal[n_rows:, :num_jobs], cols)
+            need = np.maximum(
+                cols.sum(axis=1) - self.problem.capacities[col_n], 0
+            )
+            # Columns untouched by row removals keep the fused draw (the
+            # clip never binds and the total already equals the excess);
+            # the rest are redrawn proportionally on the surviving mass.
+            redo = np.where(take.sum(axis=1) != need)[0]
+            if len(redo):
+                take[redo] = 0
+                live = redo[need[redo] > 0]
+                if len(live):
+                    take[live] = self._batched_remove(cols[live], need[live])
+            pop[col_p, :, col_n] = cols - take
 
     def _repair_interference(self, pop: np.ndarray) -> None:
         """Node-major interference resolution, batched over the population.
@@ -713,14 +791,34 @@ class GeneticOptimizerV2(GeneticOptimizer):
         return self._repair(pop)
 
     def run(
-        self, initial: Optional[np.ndarray] = None
+        self,
+        initial: Optional[np.ndarray] = None,
+        mutate_rows: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, float, np.ndarray]:
         """Run the v2 GA; returns (best matrix, best fitness, population).
 
         The returned population is fitness-sorted descending, so element 0
         of the next round's bootstrap is this round's best allocation.
+
+        ``mutate_rows`` — an optional (num_jobs,) bool mask — restricts
+        mutation to the marked (dirty) jobs' rows for incremental rounds:
+        clean jobs ride along unmutated from the warm population, while
+        crossover and repair stay unrestricted so dirty jobs can still
+        claim GPUs held by clean ones (capacity repair arbitrates).
         """
         self._reset_timings()
+        if mutate_rows is None:
+            self._mutate_rows = None
+        else:
+            mask = np.asarray(mutate_rows, dtype=bool)
+            if mask.shape != (self.problem.num_jobs,):
+                raise ValueError(
+                    f"mutate_rows has shape {mask.shape}, expected "
+                    f"({self.problem.num_jobs},)"
+                )
+            # An all-dirty mask is a full round; drop it so the uniform
+            # fast path stays mask-free.
+            self._mutate_rows = mask if not mask.all() else None
         if self.problem.num_jobs == 0:
             empty = np.zeros((0, self.problem.num_nodes), dtype=np.int64)
             return empty, 0.0, np.zeros(

@@ -71,6 +71,25 @@ class PolluxSchedConfig:
     is pinned bit-for-bit (see :mod:`repro.core.genetic`).  The two produce
     different but benchmarked-equivalent schedules
     (``benchmarks/bench_ga_engines.py``).
+
+    ``cells_path`` points at a phi-free ``TputCells`` snapshot written by
+    :meth:`PolluxSched.save_cells` (``SurfaceCache.to_file``); when set,
+    a fresh scheduler pre-warms its surface cache from it, closing most of
+    the v2 cold-start gap across restarts.  A missing file is ignored (the
+    first run has nothing persisted yet).
+
+    ``incremental`` (v2 only, default off) enables dirty-set rounds: a
+    round whose inputs are unchanged — same job set, same
+    ``theta_fingerprint()`` per job, same exploration caps, allocations
+    still exactly what the previous round assigned — skips the GA entirely
+    and replays the previous allocations; a round where only *some* jobs
+    changed restricts mutation to those jobs' rows while carrying the rest
+    from the warm population.  phi drift alone deliberately does not dirty
+    a job (the skip trades bounded goodput-model staleness for round
+    cost, like ``surface_phi_tol``); ``incremental_refresh_every`` forces
+    an unrestricted round every that-many rounds (0 = never) to bound the
+    staleness.  Departures, cluster resizes, and external allocation
+    changes always force a full round.
     """
 
     restart_penalty: float = 0.25
@@ -82,6 +101,9 @@ class PolluxSchedConfig:
     table_points_per_octave: int = 16
     surface_cache_size: int = 512
     surface_phi_tol: float = 0.0
+    cells_path: Optional[str] = None
+    incremental: bool = False
+    incremental_refresh_every: int = 10
 
     def __post_init__(self) -> None:
         if self.restart_penalty < 0:
@@ -99,6 +121,13 @@ class PolluxSchedConfig:
             raise ValueError("surface_cache_size must be non-negative")
         if self.surface_phi_tol < 0:
             raise ValueError("surface_phi_tol must be non-negative")
+        if self.incremental and self.ga_engine == "legacy":
+            raise ValueError(
+                "incremental rounds require the v2 GA engine (legacy is "
+                "bit-pinned and has no mutation masking)"
+            )
+        if self.incremental_refresh_every < 0:
+            raise ValueError("incremental_refresh_every must be non-negative")
 
 
 @dataclass
@@ -166,8 +195,31 @@ class PolluxSched:
             )
         else:
             self.surface_cache = None
+        if self.config.cells_path and self.surface_cache is not None:
+            try:
+                self.surface_cache.load_file(self.config.cells_path)
+            except FileNotFoundError:
+                pass  # first run: nothing persisted yet
+        #: Incremental-round bookkeeping (``config.incremental``): the
+        #: per-job dirty signature and the allocation vector handed out
+        #: last round, plus a counter driving the periodic forced refresh.
+        self._last_sigs: Dict[str, tuple] = {}
+        self._last_allocs: Dict[str, np.ndarray] = {}
+        self._rounds_since_full = 0
 
     # ------------------------------------------------------------------
+
+    def save_cells(self, path: Optional[str] = None) -> int:
+        """Persist the cache's phi-free ``TputCells`` for warm restarts.
+
+        Writes to ``path`` (default: ``config.cells_path``) via
+        :meth:`SurfaceCache.to_file`; returns the number of entries
+        written, 0 when there is no cache or no target path.
+        """
+        target = path if path is not None else self.config.cells_path
+        if target is None or self.surface_cache is None:
+            return 0
+        return self.surface_cache.to_file(target)
 
     def set_cluster(self, cluster: ClusterSpec) -> None:
         """Replace the cluster (cloud auto-scaling).
@@ -391,6 +443,30 @@ class PolluxSched:
             forbid_interference=cfg.forbid_interference,
         )
 
+    def _dirty_rows(
+        self, jobs: Sequence[SchedJobInfo], sigs: Dict[str, tuple]
+    ) -> np.ndarray:
+        """(J,) bool mask of jobs whose scheduling inputs moved.
+
+        A job is dirty when it is new, its phi-free signature
+        (``theta_fingerprint()`` + exploration cap) changed, or its current
+        allocation is no longer exactly what the previous round assigned
+        (external reshapes, restarts mid-flight).  phi drift alone is
+        clean by design — see ``PolluxSchedConfig.incremental``.
+        """
+        dirty = np.zeros(len(jobs), dtype=bool)
+        for idx, job in enumerate(jobs):
+            prev = self._last_sigs.get(job.job_id)
+            last = self._last_allocs.get(job.job_id)
+            if (
+                prev is None
+                or prev != sigs[job.job_id]
+                or last is None
+                or not np.array_equal(job.current_alloc, last)
+            ):
+                dirty[idx] = True
+        return dirty
+
     def optimize(
         self, jobs: Sequence[SchedJobInfo]
     ) -> Dict[str, np.ndarray]:
@@ -402,11 +478,59 @@ class PolluxSched:
         if not jobs:
             self._population = None
             self._population_job_ids = []
+            self._last_sigs = {}
+            self._last_allocs = {}
             self.last_utility = 0.0
             self.last_phase_timings = {}
             return {}
 
         t_start = time.perf_counter()
+        cfg = self.config
+        mutate_rows: Optional[np.ndarray] = None
+        sigs: Dict[str, tuple] = {}
+        if cfg.incremental:
+            total_gpus = self.cluster.total_gpus
+            sigs = {
+                job.job_id: (
+                    job.report.theta_fingerprint(),
+                    job.report.exploration_cap(total_gpus),
+                )
+                for job in jobs
+            }
+            # Departures, resizes, a missing warm population, and the
+            # periodic refresh all force an unrestricted round.
+            full = (
+                self._resized_since_round
+                or self._population is None
+                or bool(set(self._last_sigs) - set(job_ids))
+                or (
+                    cfg.incremental_refresh_every > 0
+                    and self._rounds_since_full >= cfg.incremental_refresh_every
+                )
+            )
+            if not full:
+                dirty = self._dirty_rows(jobs, sigs)
+                if not dirty.any():
+                    # Clean round: nothing the GA could act on has moved —
+                    # skip table builds and the GA, replay last round.
+                    self._rounds_since_full += 1
+                    self.last_phase_timings = {
+                        "table_ms": 0.0,
+                        "repair_ms": 0.0,
+                        "fitness_ms": 0.0,
+                        "select_ms": 0.0,
+                        "mutate_ms": 0.0,
+                        "skipped": 1.0,
+                        "total_ms": (time.perf_counter() - t_start) * 1000.0,
+                    }
+                    return {
+                        jid: self._last_allocs[jid].copy() for jid in job_ids
+                    }
+                mutate_rows = dirty
+                self._rounds_since_full += 1
+            else:
+                self._rounds_since_full = 0
+
         problem = self.build_problem(jobs)
         table_ms = (time.perf_counter() - t_start) * 1000.0
         ga_config = self.config.ga
@@ -422,7 +546,12 @@ class PolluxSched:
             self.config.ga_engine, problem, ga_config, rng=self._rng
         )
         initial = self._bootstrap_population(job_ids)
-        best, _, population = optimizer.run(initial=initial)
+        if mutate_rows is not None:
+            best, _, population = optimizer.run(
+                initial=initial, mutate_rows=mutate_rows
+            )
+        else:
+            best, _, population = optimizer.run(initial=initial)
 
         self._population = population
         self._population_job_ids = list(job_ids)
@@ -432,7 +561,13 @@ class PolluxSched:
             **optimizer.phase_ms,
             "total_ms": (time.perf_counter() - t_start) * 1000.0,
         }
-        return {jid: best[j].copy() for j, jid in enumerate(job_ids)}
+        result = {jid: best[j].copy() for j, jid in enumerate(job_ids)}
+        if cfg.incremental:
+            self._last_sigs = sigs
+            self._last_allocs = {
+                jid: alloc.copy() for jid, alloc in result.items()
+            }
+        return result
 
     def utility(self, jobs: Sequence[SchedJobInfo], matrix: np.ndarray) -> float:
         """UTILITY(A) of an allocation matrix for these jobs (Eqn. 17)."""

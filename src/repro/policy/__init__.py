@@ -17,7 +17,8 @@ one interface, constructible by registry name::
     policy = repro.policy.create("pollux", cluster=cluster, seed=0)
     sim = Simulator(cluster, policy, trace, SimConfig(seed=1))
 
-Registered names: ``pollux``, ``tiresias``, ``optimus`` (alias
+Registered names: ``pollux``, ``pollux-sharded`` (cell-partitioned
+Pollux, :mod:`repro.shard`), ``tiresias``, ``optimus`` (alias
 ``optimus+oracle``), ``orelastic`` (alias ``or-etal``); see
 :func:`available` / :func:`describe`.
 
@@ -104,6 +105,10 @@ from .orelastic import OrElasticPolicy
 from .pollux import PolluxPolicy
 from .tiresias import TiresiasPolicy
 
+# The sharded policy lives outside this package (repro.shard) and imports
+# from it, so its registration import must come after the core policies.
+from ..shard.policy import ShardedPolicy
+
 __all__ = [
     "Policy",
     "PolicyCapabilities",
@@ -126,6 +131,7 @@ __all__ = [
     "LegacySchedulerAdapter",
     "LegacyAutoscalerBridge",
     "PolluxPolicy",
+    "ShardedPolicy",
     "TiresiasPolicy",
     "OptimusPolicy",
     "OrElasticPolicy",

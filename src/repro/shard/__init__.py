@@ -1,0 +1,83 @@
+"""Sharded scheduling: cells + incremental GA rounds for 10k-GPU scale.
+
+Pollux's GA re-optimizes the entire cluster every round, so round cost
+grows with total jobs × nodes even when almost nothing changed.  This
+package cuts the cluster into *cells* — disjoint single-GPU-type node sets
+— and runs one warm-started :class:`~repro.core.sched.PolluxSched` per
+cell, behind the ordinary Policy API as ``pollux-sharded``.  The GA's cost
+is superlinear in (jobs × nodes), so C size-balanced cells do roughly
+1/C² of the work each, ~1/C in total — and cells optimize concurrently in
+a thread pool (numpy releases the GIL in the hot kernels), so wall-clock
+drops further on multicore hosts.
+
+Scaling out, step by step
+-------------------------
+
+1.  **Partition.**  A :class:`~repro.shard.partition.CellPartitioner`
+    splits the :class:`~repro.cluster.spec.ClusterSpec` into cells.  The
+    default :class:`~repro.shard.partition.TypeCellPartitioner` makes one
+    cell per GPU type — the Gavel-style structure the GA already enforces
+    (type-group repair forbids type-spanning placements), so the cut is
+    decision-compatible.  For one huge homogeneous pool, pick
+    :class:`~repro.shard.partition.UniformCellPartitioner`::
+
+        from repro.shard import UniformCellPartitioner
+        import repro.policy
+
+        policy = repro.policy.create(
+            "pollux-sharded", cluster=cluster, seed=0,
+            partitioner=UniformCellPartitioner(16),
+        )
+
+2.  **Balance.**  A top-level balancer — deterministic and RNG-free, so
+    sharding adds no random draws — assigns each arrival to the cell with
+    the most GPU-equivalents per resident job, and every ``migrate_every``
+    rounds migrates one job from the most- to the least-loaded cell when
+    their load ratio exceeds ``migration_threshold``.  A migrated running
+    job's old GPUs are explicitly zeroed in the stitched decision, so the
+    host's restart accounting charges the move like any reallocation.
+
+3.  **Optimize per cell.**  Each cell scheduler sees a standalone
+    sub-cluster and only its resident jobs: warm-started populations,
+    plateau early-exit, surface caching, and ``cells_path`` persistence
+    all apply per cell unchanged.
+
+4.  **Go incremental.**  With ``PolluxSchedConfig(incremental=True)`` a
+    cell whose inputs did not move (no arrivals/departures, no theta_sys
+    re-fits, allocations untouched) skips its GA entirely and replays its
+    previous allocations; a cell where only some jobs changed restricts
+    mutation to the dirty jobs' rows and carries the rest from the warm
+    population.  ``incremental_refresh_every`` bounds staleness with a
+    periodic unrestricted round.
+
+5.  **Stitch.**  Cell-local allocation vectors are scattered back into
+    full-cluster coordinates; every active job appears in the decision
+    (zeros outside its cell), so no job is ever double-allocated across
+    cells — pinned by ``tests/test_shard.py``.
+
+Decision-stream tier: ``pollux-sharded`` with a single cell (any
+homogeneous cluster under the default partitioner) reproduces the
+unsharded v2 engine's decision stream **bit-for-bit** (same seed, same RNG
+draws — pinned in tests).  Multi-cell configurations are a different,
+benchmarked stream: ``benchmarks/bench_scale.py`` tracks round-time curves
+(``BENCH_scale.json``) and the nightly workflow holds reduced-scale
+sharded-vs-unsharded JCT parity.
+"""
+
+from .partition import (
+    Cell,
+    CellPartitioner,
+    TypeCellPartitioner,
+    UniformCellPartitioner,
+    validate_partition,
+)
+from .policy import ShardedPolicy
+
+__all__ = [
+    "Cell",
+    "CellPartitioner",
+    "TypeCellPartitioner",
+    "UniformCellPartitioner",
+    "validate_partition",
+    "ShardedPolicy",
+]

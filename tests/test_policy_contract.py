@@ -59,7 +59,7 @@ def run_host(host, cluster, policy, trace, config):
 
 def make_policy(name: str, cluster: ClusterSpec, seed: int = 0) -> Policy:
     kwargs = {"cluster": cluster, "seed": seed}
-    if name == "pollux":
+    if name in ("pollux", "pollux-sharded"):
         kwargs["config"] = PolluxSchedConfig(
             ga=GAConfig(population_size=8, generations=4)
         )
@@ -282,7 +282,9 @@ class TestHostsHonorCapabilities:
         assert profiled == policy.capabilities.needs_agent
 
     @pytest.mark.parametrize("host", HOSTS)
-    @pytest.mark.parametrize("name", sorted(set(ALL_POLICIES) - {"pollux"}))
+    @pytest.mark.parametrize(
+        "name", sorted(set(ALL_POLICIES) - {"pollux", "pollux-sharded"})
+    )
     def test_fixed_batch_size_without_adaptation(self, name, host):
         # Policies without adapts_batch_size never get agent re-tuning;
         # batch sizes stay at the submitted value unless the policy fixed
