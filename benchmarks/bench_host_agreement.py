@@ -91,6 +91,16 @@ def _scenarios() -> Iterator[Scenario]:
             )
         else:
             yield name, name, {}, cluster, trace
+    # The sharded policy's process executor must agree across hosts too:
+    # worker lifecycle (spawn at construction, teardown via the hosts'
+    # policy.close()) and the delta wire path both ride this scenario.
+    yield (
+        "pollux-sharded+process",
+        "pollux-sharded",
+        {"execution": "process"},
+        cluster,
+        trace,
+    )
     # Goodput-utility autoscaling exercises the cadenced decide_resize
     # dispatch (the simulator and host must agree on its schedule too).
     yield (
@@ -113,6 +123,22 @@ def _make_policy(policy: str, cluster: ClusterSpec, kwargs: Dict[str, object]):
     scenarios (autoscaling) must not silently fall back to the
     paper-default 100x100 GA.
     """
+    if repro.policy.canonical(policy) == "pollux-sharded" and kwargs:
+        # Same construction make_scheduler would do (scale GA budget),
+        # plus the executor kwargs — so this scenario's decisions line up
+        # with the plain pollux-sharded one apart from the backend.
+        return repro.policy.create(
+            policy,
+            cluster=cluster,
+            seed=0,
+            config=PolluxSchedConfig(
+                ga=GAConfig(
+                    population_size=SCALE.ga_population,
+                    generations=SCALE.ga_generations,
+                )
+            ),
+            **kwargs,
+        )
     if repro.policy.canonical(policy) == "pollux":
         # make_scheduler only forwards extra kwargs into PolluxSchedConfig;
         # autoscale/autoscale_interval are registry kwargs, so construct

@@ -16,6 +16,14 @@ steady-state scheduling round through the Policy API for three series:
   incremental=True)`` — steady rounds where nothing a cell can act on
   has moved are skipped entirely (allocations replayed), the common case
   between arrival/departure bursts at scale.
+- ``process`` (``--execution process``/``both``): ``pollux-sharded``
+  with ``execution="process"`` — persistent worker processes own the
+  warm cell schedulers and receive per-round deltas, swept over worker
+  counts.  Its decision stream is compared digest-for-digest against the
+  threaded series (they must be bit-for-bit identical at the shared
+  seed; any divergence fails the run), and the per-phase timings split
+  the round into worker compute vs serialization/IPC so the recorded
+  speedup names its own bottleneck.
 
 Rounds are driven through ``Policy.schedule`` with the decision's
 allocations fed back into the next round's snapshots and a per-round phi
@@ -27,6 +35,7 @@ Run modes::
     python benchmarks/bench_scale.py --scale smoke          # CI job, <60 s
     python benchmarks/bench_scale.py --scale smoke --check  # + regression gate
     python benchmarks/bench_scale.py --scale scale          # the full sweep
+    python benchmarks/bench_scale.py --execution thread     # skip process series
     python benchmarks/bench_scale.py --parity               # nightly JCT parity
 
 Results merge into ``BENCH_scale.json`` keyed by preset (override the path
@@ -46,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import hashlib
 import json
 import os
 import sys
@@ -213,11 +223,33 @@ def _next_state(state: ClusterState, decision, round_idx: int) -> ClusterState:
     return ClusterState(cluster=state.cluster, jobs=jobs)
 
 
-def _measure_series(policy, state: ClusterState, repeats: int) -> Dict[str, float]:
-    """Cold round + median steady round for one policy at one point."""
+def _digest_decision(digest, decision) -> None:
+    """Fold one decision's allocations into a running digest."""
+    for name in sorted(decision.allocations):
+        digest.update(name.encode())
+        digest.update(
+            np.ascontiguousarray(
+                decision.allocations[name], dtype=np.int64
+            ).tobytes()
+        )
+
+
+def _measure_series(
+    policy, state: ClusterState, repeats: int
+) -> Dict[str, object]:
+    """Cold round + median steady round for one policy at one point.
+
+    Also folds every round's decision into a sha1 ``digest`` (the
+    thread-vs-process equality gate compares these) and, for sharded
+    policies, splits the last steady round into worker-side compute vs
+    serialization/IPC from ``last_round_report``.  The policy is closed
+    on the way out (worker processes must not outlive their series).
+    """
+    digest = hashlib.sha1()
     t0 = time.perf_counter()
     decision = policy.schedule(0.0, state)
     cold_ms = (time.perf_counter() - t0) * 1000.0
+    _digest_decision(digest, decision)
     steady: List[float] = []
     skipped_rounds = 0
     for round_idx in range(1, repeats + 1):
@@ -225,16 +257,37 @@ def _measure_series(policy, state: ClusterState, repeats: int) -> Dict[str, floa
         t0 = time.perf_counter()
         decision = policy.schedule(float(round_idx) * 60.0, state)
         steady.append((time.perf_counter() - t0) * 1000.0)
+        _digest_decision(digest, decision)
         if policy.last_phase_timings.get("skipped", 0.0) > 0.0:
             skipped_rounds += 1
+    report = getattr(policy, "last_round_report", {}) or {}
+    phase_sum = report.get("sum", {})
+    policy.close()
     return {
         "cold_ms": round(cold_ms, 3),
         "steady_ms": round(float(np.median(steady)), 3),
         "skipped_rounds": skipped_rounds,
+        "digest": digest.hexdigest(),
+        "compute_ms": round(float(phase_sum.get("total_ms", 0.0)), 3),
+        "ipc_ms": round(float(phase_sum.get("ipc_ms", 0.0)), 3),
     }
 
 
-def _bench_point(point: ScalePoint, preset: SweepPreset) -> Dict[str, object]:
+def _worker_counts(num_cells: int) -> List[int]:
+    """Worker-process counts swept for the process series.
+
+    Always 1 (serialization cost with zero parallelism) and the cell
+    count (full width), plus the host's core count when it lands between
+    — the point where adding workers stops buying anything on this
+    machine.
+    """
+    cores = os.cpu_count() or 1
+    return sorted({1, min(cores, num_cells), num_cells})
+
+
+def _bench_point(
+    point: ScalePoint, preset: SweepPreset, execution: str
+) -> Dict[str, object]:
     cluster = ClusterSpec.homogeneous(point.num_nodes, point.gpus_per_node)
     ga = GAConfig(
         population_size=preset.ga_population,
@@ -247,7 +300,7 @@ def _bench_point(point: ScalePoint, preset: SweepPreset) -> Dict[str, object]:
             "pollux", cluster=cluster, config=base_config, seed=0
         )
 
-    def sharded(config: PolluxSchedConfig):
+    def sharded(config: PolluxSchedConfig, **kwargs):
         # migrate_every=0: the timed series measures the recurring cell
         # rounds, not balancer churn (migration cost is the moved job's
         # restart, charged by the host, not round time).
@@ -258,9 +311,10 @@ def _bench_point(point: ScalePoint, preset: SweepPreset) -> Dict[str, object]:
             seed=0,
             partitioner=UniformCellPartitioner(point.num_cells),
             migrate_every=0,
+            **kwargs,
         )
 
-    series: Dict[str, Dict[str, float]] = {}
+    series: Dict[str, Dict[str, object]] = {}
     series["unsharded"] = _measure_series(
         unsharded(), _synthetic_state(cluster, point.num_jobs), point.repeats
     )
@@ -301,10 +355,51 @@ def _bench_point(point: ScalePoint, preset: SweepPreset) -> Dict[str, object]:
         "incremental_skipped_rounds": series["incremental"]["skipped_rounds"],
         "clean_round_fraction": round(clean_ms / sharded_ms, 4),
     }
+
+    if execution != "thread" and point.num_cells > 1:
+        # Process-executor sweep over worker counts.  Every run's decision
+        # digest must equal the threaded series' — the two backends are
+        # pinned bit-for-bit at a shared seed, so a mismatch is a bug, not
+        # noise.
+        sweep: Dict[str, float] = {}
+        digest_match = True
+        best: Optional[Dict[str, object]] = None
+        for workers in _worker_counts(point.num_cells):
+            result = _measure_series(
+                sharded(base_config, execution="process", max_workers=workers),
+                _synthetic_state(cluster, point.num_jobs),
+                point.repeats,
+            )
+            sweep[str(workers)] = result["steady_ms"]
+            if result["digest"] != series["sharded"]["digest"]:
+                digest_match = False
+            if workers == point.num_cells:
+                best = result
+        assert best is not None
+        compute_ms = float(best["compute_ms"])
+        ipc_ms = float(best["ipc_ms"])
+        out.update(
+            {
+                "process_round_ms": best["steady_ms"],
+                "process_cold_ms": best["cold_ms"],
+                "process_worker_sweep": sweep,
+                "process_speedup_vs_thread": round(
+                    sharded_ms / float(best["steady_ms"]), 3
+                ),
+                # Last steady round, summed over cells: worker-side GA
+                # compute vs everything the pipe adds on top.
+                "process_compute_ms": round(compute_ms, 3),
+                "process_ipc_ms": round(ipc_ms, 3),
+                "process_bottleneck": (
+                    "ipc" if ipc_ms > compute_ms else "compute"
+                ),
+                "digest_match": digest_match,
+            }
+        )
     return out
 
 
-def run_sweep(preset: SweepPreset) -> Dict[str, object]:
+def run_sweep(preset: SweepPreset, execution: str = "both") -> Dict[str, object]:
     points = []
     for point in preset.points:
         print(
@@ -313,7 +408,7 @@ def run_sweep(preset: SweepPreset) -> Dict[str, object]:
             f"{point.num_jobs} jobs, {point.num_cells} cells ...",
             flush=True,
         )
-        result = _bench_point(point, preset)
+        result = _bench_point(point, preset, execution)
         print(
             f"    unsharded {result['unsharded_round_ms']:10.1f} ms   "
             f"sharded {result['sharded_round_ms']:10.1f} ms "
@@ -322,24 +417,40 @@ def run_sweep(preset: SweepPreset) -> Dict[str, object]:
             f"({result['clean_round_fraction'] * 100:.1f}% of full)",
             flush=True,
         )
+        if "process_round_ms" in result:
+            print(
+                f"    process   {result['process_round_ms']:10.1f} ms "
+                f"({result['process_speedup_vs_thread']:.2f}x vs thread, "
+                f"workers {result['process_worker_sweep']}, "
+                f"bottleneck {result['process_bottleneck']}, "
+                f"digests {'match' if result['digest_match'] else 'DIVERGED'})",
+                flush=True,
+            )
         points.append(result)
     largest = points[-1]
+    summary = {
+        "total_gpus": largest["total_gpus"],
+        "num_jobs": largest["num_jobs"],
+        "num_cells": largest["num_cells"],
+        "sharded_speedup": largest["sharded_speedup"],
+        "clean_round_fraction": largest["clean_round_fraction"],
+    }
+    if "process_round_ms" in largest:
+        summary["process_speedup_vs_thread"] = largest[
+            "process_speedup_vs_thread"
+        ]
+        summary["process_bottleneck"] = largest["process_bottleneck"]
     return {
         "preset": preset.name,
         "numpy_version": np.__version__,
+        "cpu_count": os.cpu_count(),
         "calibration_ms": round(_calibration_ms(), 3),
         "ga": {
             "population": preset.ga_population,
             "generations": preset.ga_generations,
         },
         "points": points,
-        "largest": {
-            "total_gpus": largest["total_gpus"],
-            "num_jobs": largest["num_jobs"],
-            "num_cells": largest["num_cells"],
-            "sharded_speedup": largest["sharded_speedup"],
-            "clean_round_fraction": largest["clean_round_fraction"],
-        },
+        "largest": summary,
     }
 
 
@@ -413,6 +524,14 @@ def run_parity(seed: int = 1) -> Dict[str, object]:
 def _check_sweep(data: Dict[str, object]) -> int:
     """Regression + acceptance gates; returns a process exit code."""
     exit_code = 0
+    for point in data["points"]:
+        if point.get("digest_match") is False:
+            print(
+                f"EXECUTOR DIVERGENCE: process-executor decision stream at "
+                f"{point['total_gpus']} GPUs does not match the threaded "
+                "stream bit-for-bit"
+            )
+            exit_code = 1
     if data["preset"] == "scale":
         largest = data["largest"]
         if float(largest["sharded_speedup"]) < MIN_SHARDED_SPEEDUP:
@@ -515,6 +634,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="sweep preset (default: smoke)",
     )
     parser.add_argument(
+        "--execution",
+        choices=("thread", "process", "both"),
+        default="both",
+        help=(
+            "cell-round backends to sweep: 'thread' skips the process "
+            "series; 'process'/'both' add the process-executor worker "
+            "sweep and the thread-vs-process digest equality gate "
+            "(default: both)"
+        ),
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="gate against the committed BENCH_scale.json baseline",
@@ -544,10 +674,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     preset = _PRESETS[args.scale]
-    data = run_sweep(preset)
+    data = run_sweep(preset, execution=args.execution)
     _merge_out(preset.name, data)
     if args.check:
         return _check_sweep(data)
+    # Digest divergence is a correctness bug, not a perf regression:
+    # fail even without --check.
+    if any(p.get("digest_match") is False for p in data["points"]):
+        print("EXECUTOR DIVERGENCE: thread and process decision streams differ")
+        return 1
     return 0
 
 

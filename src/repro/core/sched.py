@@ -221,6 +221,29 @@ class PolluxSched:
             return 0
         return self.surface_cache.to_file(target)
 
+    def export_cells(self) -> list:
+        """Picklable warm-cells snapshot (``SurfaceCache.export_cells``).
+
+        The in-memory counterpart of :meth:`save_cells`: the sharded
+        policy's process executor ships these between worker generations
+        so a replacement scheduler starts with warm throughput cells
+        instead of re-deriving every surface.  Returns ``[]`` when
+        caching is off.
+        """
+        if self.surface_cache is None:
+            return []
+        return self.surface_cache.export_cells()
+
+    def import_cells(self, entries) -> int:
+        """Merge an :meth:`export_cells` snapshot; 0 when caching is off.
+
+        Decision-safe: a cells hit feeds the identical table assembly a
+        rebuild would (the same guarantee ``cells_path`` loading makes).
+        """
+        if self.surface_cache is None:
+            return 0
+        return self.surface_cache.import_cells(entries)
+
     def set_cluster(self, cluster: ClusterSpec) -> None:
         """Replace the cluster (cloud auto-scaling).
 

@@ -296,24 +296,52 @@ class SurfaceCache:
     # Persistence (phi-free cells entries only)
     # ------------------------------------------------------------------
 
+    def export_cells(self) -> list:
+        """The phi-free ``TputCells`` entries as ``[(key, arrays), ...]``.
+
+        The in-memory form of :meth:`to_file`: only ``"cells"`` entries
+        are exported, because their keys contain nothing but
+        ``theta_fingerprint()`` and table-shape scalars (no phi), so they
+        stay valid wherever the same reports are scheduled.  The returned
+        list is picklable — the sharded policy's process executor uses it
+        to hand warm cells between a retiring worker and its replacement
+        without a filesystem round trip.
+        """
+        return [
+            (key, entry)
+            for key, entry in self._entries.items()
+            if key and key[0] == "cells"
+        ]
+
+    def import_cells(self, entries) -> int:
+        """Merge an :meth:`export_cells` list into this cache.
+
+        Decision-safe for the same reason :meth:`load_file` is: a cells
+        hit feeds the same deterministic table assembly a rebuild would.
+        Returns the number of entries imported.
+        """
+        entries = list(entries)
+        self.ensure_capacity(len(self._entries) + len(entries))
+        for key, entry in entries:
+            self.store(key, tuple(np.asarray(array) for array in entry))
+        return len(entries)
+
     def to_file(self, path: str) -> int:
         """Serialize the phi-free ``TputCells`` entries to an ``.npz`` file.
 
-        Only ``"cells"`` entries are persisted: their keys contain nothing
-        but ``theta_fingerprint()`` and table-shape scalars (no phi), so
-        they stay valid across scheduler restarts for as long as the jobs'
-        theta_sys fits do — which is exactly the expensive part of a cold
-        round.  Surface-level entries (phi-keyed, a cheap assembly away
-        from their cells) are rebuilt on demand and not written.
+        Persists exactly what :meth:`export_cells` returns: entries whose
+        keys carry no phi stay valid across scheduler restarts for as long
+        as the jobs' theta_sys fits do — which is exactly the expensive
+        part of a cold round.  Surface-level entries (phi-keyed, a cheap
+        assembly away from their cells) are rebuilt on demand and not
+        written.
 
         Returns the number of entries written.  The file is written at
         ``path`` exactly (no ``.npz`` suffix is appended).
         """
         keys: list = []
         arrays = {}
-        for key, entry in self._entries.items():
-            if not key or key[0] != "cells":
-                continue
+        for key, entry in self.export_cells():
             idx = len(keys)
             keys.append(list(key[:2]) + [int(key[2]), int(key[3]), list(key[4])])
             tput, m_cells, counts = entry

@@ -320,6 +320,9 @@ class PolicyHost:
             # loop's drained() break must still reach the policy.
             backend.drain_events()
             backend.stop()
+            # Release whatever the policy holds (shard-cell threads,
+            # worker processes, ...) — the host owns the policy lifecycle.
+            policy.close()
         self.result = backend.collect_result(policy.name)
         return self.result
 

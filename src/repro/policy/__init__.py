@@ -18,9 +18,10 @@ one interface, constructible by registry name::
     sim = Simulator(cluster, policy, trace, SimConfig(seed=1))
 
 Registered names: ``pollux``, ``pollux-sharded`` (cell-partitioned
-Pollux, :mod:`repro.shard`), ``tiresias``, ``optimus`` (alias
-``optimus+oracle``), ``orelastic`` (alias ``or-etal``); see
-:func:`available` / :func:`describe`.
+Pollux, :mod:`repro.shard`; ``execution="process"`` selects persistent
+worker processes with the identical decision stream), ``tiresias``,
+``optimus`` (alias ``optimus+oracle``), ``orelastic`` (alias
+``or-etal``); see :func:`available` / :func:`describe`.
 
 Writing a new policy
 --------------------

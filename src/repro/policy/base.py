@@ -162,6 +162,18 @@ class Policy:
     def on_job_completed(self, now: float, job: JobSnapshot) -> None:
         """A job finished and left the active set.  Default: no-op."""
 
+    def close(self) -> None:
+        """Release any resources the policy holds.  Default: no-op.
+
+        Hosts call this once their run ends (simulator and wall-clock
+        service alike), so policies owning threads, worker processes, or
+        file handles — e.g. ``pollux-sharded``'s cell executor — can shut
+        them down deterministically instead of leaking until GC.  Must be
+        idempotent; a policy may be scheduled again after close (hosts do
+        not, but tooling that reuses a policy object across runs does),
+        in which case it revives what it needs.
+        """
+
     # ------------------------------------------------------------------
     # Scheduling events
     # ------------------------------------------------------------------

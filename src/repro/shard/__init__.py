@@ -62,8 +62,55 @@ draws — pinned in tests).  Multi-cell configurations are a different,
 benchmarked stream: ``benchmarks/bench_scale.py`` tracks round-time curves
 (``BENCH_scale.json``) and the nightly workflow holds reduced-scale
 sharded-vs-unsharded JCT parity.
+
+Execution backends
+------------------
+
+Cell rounds run behind a :class:`~repro.shard.executor.CellExecutor`,
+selected with ``ShardedPolicy(execution=...)``:
+
+- ``"thread"`` (default): in-process schedulers on a ``shard-cell``
+  thread pool.  numpy releases the GIL in the hot kernels, but the GA's
+  python-side orchestration (repair bookkeeping, cache lookups, selection
+  control flow) serializes on it, so extra cores buy only a modest
+  speedup.  Zero serialization cost; right for small cell counts, short
+  rounds, or introspection (``cell_schedulers``).
+- ``"process"``: persistent worker processes, each owning its cells' warm
+  :class:`~repro.core.sched.PolluxSched` (GA population,
+  ``SurfaceCache``/``TputCells``, RNG state all stay worker-side across
+  rounds, never re-pickled).  Pays a per-round serialization/IPC toll but
+  escapes the GIL entirely — it wins once per-cell GA compute dominates
+  that toll, i.e. multi-cell rounds at real job counts on a multi-core
+  host (``BENCH_scale.json`` records the crossover; on a single core it
+  is strictly overhead).
+
+What crosses the pipe each round is a compact delta, not state
+(:mod:`repro.shard.wire`): per job, the current allocation and attained
+GPU-time always travel, the frozen ``AgentReport`` only when its
+``theta_fingerprint()`` moved, just ``(phi, max_gpus_seen)`` when only
+the noise scale drifted, and nothing when byte-identical; departures by
+id.  Replies carry cell-local allocations plus per-phase timings (with
+an ``ipc_ms`` share).  Because pickling floats/int64 arrays is exact and
+each cell's scheduler evolves from the same ``seed + cell_index``, the
+two backends produce **bit-for-bit identical decision streams** at a
+fixed seed — pinned in ``tests/test_shard_executor.py`` and gated in CI.
+
+Fallback semantics: a worker crash, hang (``round_timeout``), or error
+never loses a dispatch — the affected cells' rounds run in-process on a
+parent-side fallback scheduler (logged, counted in
+``ShardedPolicy.fallback_rounds``) and the worker is replaced, cold, for
+the next round.  ``Policy.close()`` tears the backend down (hosts call it
+at end of run); a closed policy revives its executor on the next
+``schedule``, re-shipping the warm throughput cells harvested at close.
 """
 
+from .executor import (
+    CellExecutor,
+    CellResult,
+    ProcessCellExecutor,
+    ThreadCellExecutor,
+    make_executor,
+)
 from .partition import (
     Cell,
     CellPartitioner,
@@ -80,4 +127,9 @@ __all__ = [
     "UniformCellPartitioner",
     "validate_partition",
     "ShardedPolicy",
+    "CellExecutor",
+    "CellResult",
+    "ThreadCellExecutor",
+    "ProcessCellExecutor",
+    "make_executor",
 ]

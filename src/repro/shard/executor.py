@@ -1,0 +1,583 @@
+"""Execution backends for :class:`~repro.shard.policy.ShardedPolicy`.
+
+A :class:`CellExecutor` owns the per-cell :class:`~repro.core.sched.
+PolluxSched` instances and runs one optimize round per cell when asked.
+Two implementations:
+
+- :class:`ThreadCellExecutor` (default): schedulers live in-process and
+  multi-cell rounds run on a ``shard-cell`` thread pool — numpy releases
+  the GIL in the hot kernels, but the GA's python-side orchestration
+  serializes, so the speedup on many cores is modest.
+- :class:`ProcessCellExecutor`: persistent worker processes each own their
+  cells' warm schedulers (GA population, ``SurfaceCache``/``TputCells``,
+  RNG state all live worker-side across rounds, never re-pickled).  The
+  parent ships compact per-round deltas (:mod:`repro.shard.wire`) and
+  receives allocations plus per-phase timings back, so multi-cell rounds
+  scale with cores instead of the GIL.
+
+Both backends produce bit-identical decision streams at a fixed seed: each
+cell's scheduler is constructed the same way (``seed + cell_index``) and
+fed value-identical inputs in the same per-cell order, and pickling
+floats/int64 arrays is exact (pinned in ``tests/test_shard_executor.py``).
+
+A worker crash, timeout, or error never loses a dispatch: the affected
+cells' rounds run in-process on a parent-side fallback scheduler (logged,
+counted in :attr:`CellExecutor.fallback_rounds`) and the worker is
+replaced for the next round.  The replacement starts cold — the crashed
+worker's warm state is gone with it — so post-crash streams legitimately
+differ from an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.spec import ClusterSpec
+from ..core.sched import PolluxSched, PolluxSchedConfig, SchedJobInfo
+from . import wire
+from .partition import Cell
+
+__all__ = [
+    "CellResult",
+    "CellExecutor",
+    "ThreadCellExecutor",
+    "ProcessCellExecutor",
+    "make_executor",
+]
+
+logger = logging.getLogger("repro.shard")
+
+#: Generous ceiling for worker construction (spawn pays an interpreter
+#: start plus a numpy import before it can acknowledge the configure).
+_CONFIGURE_TIMEOUT_S = 120.0
+#: How long close() waits for a worker to hand back its warm cells.
+_EXIT_TIMEOUT_S = 5.0
+
+
+@dataclass
+class CellResult:
+    """One cell's round outcome, as returned by an executor.
+
+    ``phase_timings`` carries the cell scheduler's own per-phase wall
+    clock, plus (process executor only) ``ipc_ms`` — the round-trip time
+    not accounted for by worker-side compute, i.e. serialization plus
+    pipe transfer plus queueing.  ``fallback`` marks a round that ran on
+    the parent-side fallback scheduler after a worker failure.
+    """
+
+    allocations: Dict[str, np.ndarray]
+    utility: float
+    phase_timings: Dict[str, float] = field(default_factory=dict)
+    fallback: bool = False
+
+
+class CellExecutor:
+    """Backend interface: owns cell schedulers, runs cell rounds.
+
+    Lifecycle: :meth:`configure` (re)builds one scheduler per cell —
+    called at policy construction and again on every repartition (node
+    layout change), after which all warm state is deliberately cold, just
+    like the pre-executor code.  :meth:`run_rounds` runs one optimize
+    round per cell and must return one :class:`CellResult` per cell, in
+    cell order.  :meth:`close` releases threads/processes; a closed
+    executor revives lazily on the next :meth:`run_rounds`.
+    """
+
+    #: Rounds that fell back in-process after a worker failure (telemetry).
+    fallback_rounds: int = 0
+
+    def configure(
+        self,
+        cluster: ClusterSpec,
+        cells: Sequence[Cell],
+        config: PolluxSchedConfig,
+        seed: int,
+    ) -> None:
+        raise NotImplementedError
+
+    def run_rounds(
+        self, rounds: Sequence[Sequence[SchedJobInfo]]
+    ) -> List[CellResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def schedulers(self) -> Tuple[PolluxSched, ...]:
+        """In-process cell schedulers (thread executor only)."""
+        raise NotImplementedError
+
+
+class ThreadCellExecutor(CellExecutor):
+    """In-process cell rounds on a ``shard-cell`` thread pool.
+
+    Bit-for-bit the pre-executor behavior: a single cell runs inline, and
+    multi-cell rounds map over a lazily created
+    ``ThreadPoolExecutor(max_workers or num_cells)``.  ``close()`` only
+    shuts the pool down (with ``wait=True``, so no ``shard-cell`` thread
+    outlives the policy); the schedulers and their warm state survive, and
+    the pool is recreated on the next round if the policy keeps going.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+        self.fallback_rounds = 0
+        self._scheds: List[PolluxSched] = []
+        self._cells: Tuple[Cell, ...] = ()
+        self._cluster: Optional[ClusterSpec] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_width = 0
+
+    @property
+    def schedulers(self) -> Tuple[PolluxSched, ...]:
+        return tuple(self._scheds)
+
+    def configure(self, cluster, cells, config, seed):
+        self._cluster = cluster
+        self._cells = tuple(cells)
+        self._scheds = [
+            PolluxSched(cell.subspec(cluster), config, seed=seed + i)
+            for i, cell in enumerate(self._cells)
+        ]
+        width = self.max_workers or len(self._cells)
+        if self._pool is not None and self._pool_width != width:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run_rounds(self, rounds):
+        def cell_round(idx: int) -> CellResult:
+            sched = self._scheds[idx]
+            sched.set_cluster(self._cells[idx].subspec(self._cluster))
+            allocations = sched.optimize(rounds[idx])
+            return CellResult(
+                allocations=allocations,
+                utility=float(sched.last_utility),
+                phase_timings=dict(sched.last_phase_timings),
+            )
+
+        if len(rounds) == 1:
+            return [cell_round(0)]
+        if self._pool is None:
+            self._pool_width = self.max_workers or len(self._cells)
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._pool_width,
+                thread_name_prefix="shard-cell",
+            )
+        return list(self._pool.map(cell_round, range(len(rounds))))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# Process backend
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """One persistent worker process and the cells it owns."""
+
+    __slots__ = ("process", "conn", "cell_indices", "alive", "sent_at")
+
+    def __init__(self, process, conn, cell_indices):
+        self.process = process
+        self.conn = conn
+        self.cell_indices: List[int] = list(cell_indices)
+        self.alive = True
+        self.sent_at = 0.0
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: owns warm ``PolluxSched`` instances for its cells.
+
+    Top-level so every start method (including ``spawn``) can import it.
+    Messages are ``(kind, payload)`` tuples; every request gets exactly
+    one reply, so the parent can match them without sequence numbers.
+    """
+    scheds: Dict[int, PolluxSched] = {}
+    reports: Dict[int, dict] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = msg[0]
+        if kind == "configure":
+            try:
+                scheds = {}
+                reports = {}
+                for idx, (spec, config, seed, cells_entries) in msg[1].items():
+                    sched = PolluxSched(spec, config, seed=seed)
+                    if cells_entries:
+                        sched.import_cells(cells_entries)
+                    scheds[idx] = sched
+                    reports[idx] = {}
+                conn.send(("ok",))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+        elif kind == "rounds":
+            try:
+                out = []
+                for idx, wire_jobs, departures in msg[1]:
+                    sched = scheds[idx]
+                    infos = wire.decode_jobs(wire_jobs, departures, reports[idx])
+                    allocations = sched.optimize(infos)
+                    out.append(
+                        (
+                            idx,
+                            allocations,
+                            float(sched.last_utility),
+                            dict(sched.last_phase_timings),
+                        )
+                    )
+                conn.send(("results", out))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+        elif kind == "exit":
+            try:
+                conn.send(
+                    (
+                        "cells",
+                        {
+                            idx: sched.export_cells()
+                            for idx, sched in scheds.items()
+                        },
+                    )
+                )
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+            return
+        else:  # pragma: no cover - protocol guard
+            conn.send(("error", f"unknown message kind {kind!r}"))
+
+
+class ProcessCellExecutor(CellExecutor):
+    """Persistent worker processes, one warm scheduler per cell.
+
+    Args:
+        max_workers: Worker process count; defaults to one per cell.
+            Fewer workers than cells round-robins cells over workers
+            (worker ``j`` owns cells ``{i : i % workers == j}``) and runs
+            each worker's cells sequentially — the decision stream does
+            not depend on the mapping, only wall-clock does.
+        start_method: ``multiprocessing`` start method; ``None`` picks
+            ``fork`` where available (cheap worker start) else ``spawn``.
+            Pass ``"spawn"`` explicitly for fork-unsafe embedders (e.g. a
+            heavily threaded parent); workers are persistent, so the
+            spawn cost is paid once per (re)configure, not per round.
+        round_timeout: Seconds to wait for each worker's round reply
+            before declaring it hung and falling back in-process
+            (``None`` waits indefinitely, like the thread backend).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        round_timeout: Optional[float] = None,
+    ):
+        if round_timeout is not None and round_timeout <= 0:
+            raise ValueError("round_timeout must be positive (or None)")
+        self.max_workers = max_workers
+        self.start_method = start_method
+        self.round_timeout = round_timeout
+        self.fallback_rounds = 0
+        self._workers: List[_WorkerHandle] = []
+        self._trackers: List[wire.DeltaTracker] = []
+        self._fallback_scheds: Dict[int, PolluxSched] = {}
+        self._cluster: Optional[ClusterSpec] = None
+        self._cells: Tuple[Cell, ...] = ()
+        self._config: Optional[PolluxSchedConfig] = None
+        self._seed = 0
+        #: Warm ``TputCells`` handed back by workers at close(), re-shipped
+        #: to their replacements if the executor revives on the same
+        #: partition (cell index -> exported entries).
+        self._warm_cells: Dict[int, list] = {}
+        self._warm_key: Optional[tuple] = None
+
+    @property
+    def schedulers(self):
+        raise RuntimeError(
+            "cell schedulers live inside worker processes under the "
+            "process executor; use execution='thread' to introspect them"
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _context(self):
+        method = self.start_method
+        if method is None:
+            method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        return mp.get_context(method)
+
+    def configure(self, cluster, cells, config, seed):
+        self._cluster = cluster
+        self._cells = tuple(cells)
+        self._config = config
+        self._seed = seed
+        self._fallback_scheds = {}
+        self._trackers = [wire.DeltaTracker() for _ in self._cells]
+        num_workers = max(
+            1, min(self.max_workers or len(self._cells), len(self._cells))
+        )
+        if len(self._workers) != num_workers or not all(
+            h.alive for h in self._workers
+        ):
+            self._stop_workers()
+            ctx = self._context()
+            for rank in range(num_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn,),
+                    name=f"shard-cell-worker-{rank}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(
+                    _WorkerHandle(process, parent_conn, [])
+                )
+        for handle in self._workers:
+            handle.cell_indices = []
+        for idx in range(len(self._cells)):
+            self._workers[idx % num_workers].cell_indices.append(idx)
+        for handle in self._workers:
+            self._configure_worker(handle)
+        if self._warm_key != self._partition_key():
+            self._warm_cells = {}
+            self._warm_key = None
+
+    def _partition_key(self) -> tuple:
+        return (self._cluster, self._cells, self._config, self._seed)
+
+    def _configure_worker(self, handle: _WorkerHandle) -> None:
+        warm = (
+            self._warm_cells if self._warm_key == self._partition_key() else {}
+        )
+        payload = {
+            idx: (
+                self._cells[idx].subspec(self._cluster),
+                self._config,
+                self._seed + idx,
+                warm.get(idx, []),
+            )
+            for idx in handle.cell_indices
+        }
+        handle.conn.send(("configure", payload))
+        reply = self._recv(handle, _CONFIGURE_TIMEOUT_S)
+        if reply is None or reply[0] != "ok":
+            detail = reply[1] if reply and len(reply) > 1 else "no reply"
+            self._kill_worker(handle)
+            raise RuntimeError(
+                f"shard worker {handle.process.name} failed to configure:\n"
+                f"{detail}"
+            )
+
+    def _stop_workers(self) -> None:
+        for handle in self._workers:
+            self._kill_worker(handle)
+        self._workers = []
+
+    def _kill_worker(self, handle: _WorkerHandle) -> None:
+        handle.alive = False
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=_EXIT_TIMEOUT_S)
+
+    def close(self):
+        """Stop the workers, harvesting their warm ``TputCells`` first.
+
+        The harvested entries are re-shipped to replacement workers if the
+        executor revives on an unchanged partition, so a close/reopen
+        cycle (host teardown, pickling a policy-owning object, ...) does
+        not throw away every cached throughput surface.  GA populations
+        and RNG state are not harvested — a revived executor is a cold
+        start decision-wise, exactly like a repartition.
+        """
+        harvested: Dict[int, list] = {}
+        for handle in self._workers:
+            if handle.alive:
+                try:
+                    handle.conn.send(("exit",))
+                    reply = self._recv(handle, _EXIT_TIMEOUT_S)
+                    if reply is not None and reply[0] == "cells":
+                        harvested.update(reply[1])
+                except (BrokenPipeError, OSError):
+                    pass
+            self._kill_worker(handle)
+        self._workers = []
+        if harvested:
+            self._warm_cells = harvested
+            self._warm_key = self._partition_key()
+
+    # -- rounds ---------------------------------------------------------
+
+    def _recv(self, handle: _WorkerHandle, timeout: Optional[float]):
+        """One reply from a worker, or ``None`` on timeout/crash."""
+        try:
+            if timeout is not None and not handle.conn.poll(timeout):
+                return None
+            return handle.conn.recv()
+        except (EOFError, OSError):
+            return None
+
+    def run_rounds(self, rounds):
+        if not self._workers and self._cells:
+            # Revived after close(): respawn on the retained configuration.
+            self.configure(self._cluster, self._cells, self._config, self._seed)
+        results: List[Optional[CellResult]] = [None] * len(rounds)
+        batches: Dict[int, list] = {}
+        for wid, handle in enumerate(self._workers):
+            if not handle.alive:
+                continue
+            batch = [
+                (idx, *self._trackers[idx].encode(rounds[idx]))
+                for idx in handle.cell_indices
+            ]
+            batches[wid] = batch
+            handle.sent_at = perf_counter()
+            try:
+                handle.conn.send(("rounds", batch))
+            except (BrokenPipeError, OSError):
+                logger.warning(
+                    "shard worker %s died before dispatch", handle.process.name
+                )
+                handle.alive = False
+        for wid, handle in enumerate(self._workers):
+            if not handle.alive or wid not in batches:
+                continue
+            reply = self._recv(handle, self.round_timeout)
+            round_trip_ms = (perf_counter() - handle.sent_at) * 1e3
+            if reply is None or reply[0] != "results":
+                detail = (
+                    "timed out"
+                    if reply is None
+                    else f"errored:\n{reply[1] if len(reply) > 1 else reply}"
+                )
+                logger.warning(
+                    "shard worker %s %s; cells %s fall back in-process",
+                    handle.process.name,
+                    detail,
+                    handle.cell_indices,
+                )
+                handle.alive = False
+                continue
+            cell_results = reply[1]
+            worker_ms = sum(
+                timings.get("total_ms", 0.0)
+                for _, _, _, timings in cell_results
+            )
+            ipc_share = max(0.0, round_trip_ms - worker_ms) / max(
+                1, len(cell_results)
+            )
+            for idx, allocations, utility, timings in cell_results:
+                timings = dict(timings)
+                timings["ipc_ms"] = ipc_share
+                results[idx] = CellResult(
+                    allocations=allocations,
+                    utility=utility,
+                    phase_timings=timings,
+                )
+        for idx, result in enumerate(results):
+            if result is None:
+                results[idx] = self._fallback_round(idx, rounds[idx])
+        self._replace_dead_workers()
+        return results
+
+    def _fallback_round(self, idx: int, jobs) -> CellResult:
+        self.fallback_rounds += 1
+        sched = self._fallback_scheds.get(idx)
+        if sched is None:
+            sched = PolluxSched(
+                self._cells[idx].subspec(self._cluster),
+                self._config,
+                seed=self._seed + idx,
+            )
+            self._fallback_scheds[idx] = sched
+        allocations = sched.optimize(jobs)
+        timings = dict(sched.last_phase_timings)
+        timings["fallback"] = 1.0
+        return CellResult(
+            allocations=allocations,
+            utility=float(sched.last_utility),
+            phase_timings=timings,
+            fallback=True,
+        )
+
+    def _replace_dead_workers(self) -> None:
+        ctx = None
+        for handle in self._workers:
+            if handle.alive:
+                continue
+            self._kill_worker(handle)
+            if ctx is None:
+                ctx = self._context()
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name=handle.process.name,
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            handle.process = process
+            handle.conn = parent_conn
+            handle.alive = True
+            for idx in handle.cell_indices:
+                # The dead worker's report cache died with it: next round
+                # must ship full reports (its replacement starts cold).
+                self._trackers[idx].reset()
+            try:
+                self._configure_worker(handle)
+            except RuntimeError:
+                logger.exception(
+                    "shard worker %s failed to restart; its cells stay on "
+                    "the in-process fallback path",
+                    handle.process.name,
+                )
+                handle.alive = False
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety
+        try:
+            self._stop_workers()
+        except Exception:
+            pass
+
+
+def make_executor(
+    execution: str = "thread",
+    max_workers: Optional[int] = None,
+    start_method: Optional[str] = None,
+    round_timeout: Optional[float] = None,
+) -> CellExecutor:
+    """Build the executor for ``ShardedPolicy(execution=...)``."""
+    if execution == "thread":
+        return ThreadCellExecutor(max_workers=max_workers)
+    if execution == "process":
+        return ProcessCellExecutor(
+            max_workers=max_workers,
+            start_method=start_method,
+            round_timeout=round_timeout,
+        )
+    raise ValueError(
+        f"unknown execution backend {execution!r}; use 'thread' or 'process'"
+    )

@@ -8,8 +8,6 @@ stitched from the per-cell results each round.  See the package docstring
 
 from __future__ import annotations
 
-import functools
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,6 +17,7 @@ from ..core.sched import PolluxSched, PolluxSchedConfig, SchedJobInfo
 from ..policy.base import Policy, PolicyCapabilities, ScheduleDecision
 from ..policy.registry import register
 from ..policy.views import ClusterState, JobSnapshot
+from .executor import CellResult, make_executor
 from .partition import Cell, CellPartitioner, TypeCellPartitioner, validate_partition
 
 __all__ = ["ShardedPolicy"]
@@ -42,9 +41,20 @@ class ShardedPolicy(Policy):
         partitioner: Cell strategy; defaults to
             :class:`~repro.shard.partition.TypeCellPartitioner` (one cell
             per GPU type).
-        max_workers: Thread-pool width for concurrent cell rounds (numpy
-            releases the GIL in the hot kernels); defaults to the cell
-            count, and a single cell always runs inline.
+        execution: Cell-round backend: ``"thread"`` (default, in-process
+            schedulers on a ``shard-cell`` thread pool) or ``"process"``
+            (persistent worker processes, one warm scheduler per cell,
+            fed compact deltas — see :mod:`repro.shard.executor`).  Both
+            produce the same decision stream bit-for-bit at a fixed seed.
+        max_workers: Concurrency width for cell rounds (threads or worker
+            processes); defaults to the cell count.
+        start_method: ``multiprocessing`` start method for
+            ``execution="process"`` (``None`` = fork where available,
+            else spawn); ignored by the thread backend.
+        round_timeout: Per-round worker reply timeout in seconds for
+            ``execution="process"``; a timed-out worker's cells fall back
+            to an in-process round (never a lost dispatch).  ``None``
+            (default) waits indefinitely, like the thread backend.
         migrate_every: Balance check cadence in rounds (0 disables
             migration).
         migration_threshold: Minimum donor/receiver load ratio (jobs per
@@ -59,7 +69,10 @@ class ShardedPolicy(Policy):
         config: Optional[PolluxSchedConfig] = None,
         seed: int = 0,
         partitioner: Optional[CellPartitioner] = None,
+        execution: str = "thread",
         max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        round_timeout: Optional[float] = None,
         migrate_every: int = 5,
         migration_threshold: float = 1.5,
     ):
@@ -73,6 +86,7 @@ class ShardedPolicy(Policy):
         self.partitioner = (
             partitioner if partitioner is not None else TypeCellPartitioner()
         )
+        self.execution = execution
         self.max_workers = max_workers
         self.migrate_every = int(migrate_every)
         self.migration_threshold = float(migration_threshold)
@@ -81,10 +95,18 @@ class ShardedPolicy(Policy):
         )
         self.last_utility = 0.0
         self.last_phase_timings: Dict[str, float] = {}
+        #: Cluster-level round report: per-cell utility/timings plus
+        #: per-phase sum and max aggregates (see :meth:`_update_telemetry`).
+        self.last_round_report: Dict[str, object] = {}
         #: Jobs migrated between cells so far (telemetry).
         self.migrations = 0
         self._assignment: Dict[str, int] = {}
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor = make_executor(
+            execution,
+            max_workers=max_workers,
+            start_method=start_method,
+            round_timeout=round_timeout,
+        )
         self._rounds = 0
         self._build_cells(cluster)
 
@@ -99,8 +121,17 @@ class ShardedPolicy(Policy):
 
     @property
     def cell_schedulers(self) -> Tuple[PolluxSched, ...]:
-        """Per-cell schedulers, aligned with :attr:`cells`."""
-        return tuple(self._scheds)
+        """Per-cell schedulers, aligned with :attr:`cells`.
+
+        Thread backend only: under ``execution="process"`` the schedulers
+        live inside worker processes and accessing this raises.
+        """
+        return self._executor.schedulers
+
+    @property
+    def fallback_rounds(self) -> int:
+        """Cell rounds that fell back in-process after a worker failure."""
+        return self._executor.fallback_rounds
 
     @property
     def assignment(self) -> Dict[str, int]:
@@ -110,30 +141,31 @@ class ShardedPolicy(Policy):
     def _build_cells(self, cluster: ClusterSpec) -> None:
         self._cells = tuple(self.partitioner.partition(cluster))
         validate_partition(cluster, self._cells)
-        self._scheds = [
-            PolluxSched(cell.subspec(cluster), self.config, seed=self.seed + i)
-            for i, cell in enumerate(self._cells)
-        ]
         self._index_arrays = [
             np.asarray(cell.node_indices, dtype=np.int64) for cell in self._cells
         ]
         self._capacity_eq = np.array(
             [cell.capacity_eq(cluster) for cell in self._cells]
         )
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-            self._executor = None
+        self._executor.configure(cluster, self._cells, self.config, self.seed)
 
-    def _run_cells(self, fns) -> List[Dict[str, np.ndarray]]:
-        """Run one optimize round per cell, concurrently when multi-cell."""
-        if len(fns) == 1:
-            return [fns[0]()]
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.max_workers or len(self._cells),
-                thread_name_prefix="shard-cell",
-            )
-        return list(self._executor.map(lambda fn: fn(), fns))
+    def close(self) -> None:
+        """Release executor resources (threads or worker processes).
+
+        Idempotent, and not final: a closed policy revives its executor
+        on the next :meth:`schedule` (the process backend even re-ships
+        the warm throughput cells it harvested at close).  Hosts call
+        this at the end of a run; ``__del__`` is only the safety net.
+        """
+        self._executor.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety
+        try:
+            executor = getattr(self, "_executor", None)
+            if executor is not None:
+                executor.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Balancer
@@ -218,25 +250,23 @@ class ShardedPolicy(Policy):
         for snap in state.jobs:
             per_cell_jobs[self._assignment[snap.name]].append(snap)
 
-        def cell_round(idx: int):
-            infos = self._infos(per_cell_jobs[idx], self._index_arrays[idx])
-            sched = self._scheds[idx]
-            sched.set_cluster(self._cells[idx].subspec(self.cluster))
-            return sched.optimize(infos)
-
-        results = self._run_cells(
-            [functools.partial(cell_round, i) for i in range(len(self._cells))]
-        )
+        rounds = [
+            self._infos(per_cell_jobs[idx], self._index_arrays[idx])
+            for idx in range(len(self._cells))
+        ]
+        results = self._executor.run_rounds(rounds)
 
         num_nodes = self.cluster.num_nodes
         allocations: Dict[str, np.ndarray] = {}
         for snap in state.jobs:
             cell_idx = self._assignment[snap.name]
             full = np.zeros(num_nodes, dtype=np.int64)
-            full[self._index_arrays[cell_idx]] = results[cell_idx][snap.name]
+            full[self._index_arrays[cell_idx]] = results[cell_idx].allocations[
+                snap.name
+            ]
             allocations[snap.name] = full
 
-        self._update_telemetry()
+        self._update_telemetry(results)
         return ScheduleDecision(allocations=allocations)
 
     @staticmethod
@@ -260,7 +290,7 @@ class ShardedPolicy(Policy):
             )
         return infos
 
-    def _update_telemetry(self) -> None:
+    def _update_telemetry(self, results: Sequence[CellResult]) -> None:
         """Aggregate per-cell utility and phase timings.
 
         ``last_utility`` is the capacity-weighted mean of the cells' own
@@ -268,20 +298,46 @@ class ShardedPolicy(Policy):
         GPU type, so the aggregate is a telemetry approximation (exact
         when there is one cell, which is also the only case compared
         against unsharded numbers bit-for-bit).
+
+        ``last_phase_timings`` stays the per-phase *sum* across cells
+        (the historical shape ``bench_scale`` reads — e.g. a summed
+        ``skipped`` still means "at least one cell skipped").  The richer
+        :attr:`last_round_report` adds the per-phase max (the critical
+        path under a concurrent executor), the full per-cell breakdown —
+        including ``ipc_ms`` under the process executor — and the
+        executor's cumulative fallback count, so a regression localizes
+        to a phase *and* a cell under either backend.
         """
         total_cap = float(self._capacity_eq.sum())
         self.last_utility = float(
             sum(
-                sched.last_utility * cap
-                for sched, cap in zip(self._scheds, self._capacity_eq)
+                result.utility * cap
+                for result, cap in zip(results, self._capacity_eq)
             )
             / total_cap
         )
-        timings: Dict[str, float] = {}
-        for sched in self._scheds:
-            for key, value in sched.last_phase_timings.items():
-                timings[key] = timings.get(key, 0.0) + float(value)
-        self.last_phase_timings = timings
+        summed: Dict[str, float] = {}
+        maxed: Dict[str, float] = {}
+        per_cell = []
+        for cell, result in zip(self._cells, results):
+            for key, value in result.phase_timings.items():
+                summed[key] = summed.get(key, 0.0) + float(value)
+                maxed[key] = max(maxed.get(key, 0.0), float(value))
+            per_cell.append(
+                {
+                    "cell": cell.name,
+                    "utility": float(result.utility),
+                    "fallback": bool(result.fallback),
+                    "timings": dict(result.phase_timings),
+                }
+            )
+        self.last_phase_timings = summed
+        self.last_round_report = {
+            "sum": summed,
+            "max": maxed,
+            "per_cell": per_cell,
+            "fallback_rounds": self._executor.fallback_rounds,
+        }
 
 
 register(
@@ -290,6 +346,8 @@ register(
     description=(
         "Sharded Pollux: one warm-started per-cell GA (default: one cell "
         "per GPU type) with a top-level arrival/migration balancer; "
-        "single-cell configs reproduce unsharded v2 bit-for-bit"
+        "single-cell configs reproduce unsharded v2 bit-for-bit, and "
+        "execution='process' runs cells in persistent worker processes "
+        "with the identical decision stream"
     ),
 )

@@ -1,0 +1,131 @@
+"""Delta wire format for process-parallel cell rounds.
+
+The :class:`~repro.shard.executor.ProcessCellExecutor` keeps each cell's
+warm :class:`~repro.core.sched.PolluxSched` inside a persistent worker
+process and never re-pickles it.  What crosses the pipe each round is a
+compact *delta* against what the worker already holds:
+
+- ``(job_id, FULL, AgentReport, alloc, gputime)`` — the job is new to the
+  worker or its ``theta_fingerprint()`` moved (a theta_sys re-fit or batch
+  size limit change), so the whole frozen report is shipped.
+- ``(job_id, PHI, (phi, max_gpus_seen), alloc, gputime)`` — theta is
+  unchanged but the gradient noise scale drifted and/or the job saw more
+  GPUs (which widens its exploration cap).  The worker rebuilds the report
+  from its cached copy with ``dataclasses.replace`` — bit-identical to
+  shipping it whole, at two scalars on the wire.
+- ``(job_id, SAME, None, alloc, gputime)`` — the report is byte-identical
+  to last round; only the feedback fields (current allocation, attained
+  GPU-time) travel.
+
+Departures are the job ids the parent tracked last round that are absent
+this round; the worker drops their cached reports.  The current allocation
+and gputime always travel: they change nearly every round and are one
+small int64 vector plus a float.
+
+Both ends of the delta are exact: pickling floats and int64 arrays is
+bit-preserving, and ``dataclasses.replace`` on the frozen ``AgentReport``
+reproduces the parent-side report field-for-field.  That is what lets the
+process executor reproduce the threaded executor's decision stream
+bit-for-bit (pinned in ``tests/test_shard_executor.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.agent import AgentReport
+from ..core.sched import SchedJobInfo
+
+__all__ = ["FULL", "PHI", "SAME", "DeltaTracker", "decode_jobs"]
+
+#: Report delta modes (first element of each wire-job payload tuple).
+FULL = 0
+PHI = 1
+SAME = 2
+
+
+class DeltaTracker:
+    """Parent-side memory of the reports one cell's worker already holds.
+
+    One tracker per cell.  :meth:`encode` compares each job's report
+    against what was last shipped and chooses the cheapest delta mode;
+    :meth:`reset` forgets everything, forcing the next round to ship full
+    reports (used after a worker is replaced, whose cache died with it).
+    """
+
+    def __init__(self) -> None:
+        self._theta: Dict[str, tuple] = {}
+        self._phi: Dict[str, Tuple[float, int]] = {}
+
+    def reset(self) -> None:
+        self._theta.clear()
+        self._phi.clear()
+
+    def encode(
+        self, jobs: Sequence[SchedJobInfo]
+    ) -> Tuple[List[tuple], List[str]]:
+        """Encode one round's jobs as ``(wire_jobs, departures)``."""
+        wire_jobs: List[tuple] = []
+        active = set()
+        for info in jobs:
+            name = info.job_id
+            report = info.report
+            active.add(name)
+            theta = report.theta_fingerprint()
+            phi = (float(report.grad_noise_scale), int(report.max_gpus_seen))
+            if self._theta.get(name) != theta:
+                mode, payload = FULL, report
+            elif self._phi.get(name) != phi:
+                mode, payload = PHI, phi
+            else:
+                mode, payload = SAME, None
+            self._theta[name] = theta
+            self._phi[name] = phi
+            wire_jobs.append(
+                (name, mode, payload, info.current_alloc, float(info.gputime))
+            )
+        departures = [name for name in self._theta if name not in active]
+        for name in departures:
+            del self._theta[name]
+            del self._phi[name]
+        return wire_jobs, departures
+
+
+def decode_jobs(
+    wire_jobs: Sequence[tuple],
+    departures: Sequence[str],
+    reports: Dict[str, AgentReport],
+) -> List[SchedJobInfo]:
+    """Worker-side inverse of :meth:`DeltaTracker.encode`.
+
+    ``reports`` is the worker's per-cell report cache, mutated in place.
+    A ``KeyError`` here means the parent's tracker and this cache are out
+    of sync (only possible across a worker replacement the parent failed
+    to reset for); the executor treats it like any worker error and falls
+    back in-process.
+    """
+    for name in departures:
+        reports.pop(name, None)
+    infos: List[SchedJobInfo] = []
+    for name, mode, payload, alloc, gputime in wire_jobs:
+        if mode == FULL:
+            report = payload
+        elif mode == PHI:
+            report = dataclasses.replace(
+                reports[name],
+                grad_noise_scale=payload[0],
+                max_gpus_seen=payload[1],
+            )
+        else:
+            report = reports[name]
+        reports[name] = report
+        infos.append(
+            SchedJobInfo(
+                job_id=name,
+                report=report,
+                current_alloc=alloc,
+                gputime=gputime,
+            )
+        )
+    return infos

@@ -268,4 +268,8 @@ class Simulator(ClusterEngine):
         result.end_time = self.now
         for job in self.jobs:
             result.records.append(JobRecord.from_job(job))
+        # Run is over: let the policy release threads/worker processes.
+        # close() is idempotent and revivable, so a reused policy object
+        # (rare, but tooling does it) keeps working.
+        policy.close()
         return result

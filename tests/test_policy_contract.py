@@ -35,6 +35,13 @@ from repro.workload import MODEL_ZOO, JobSpec
 
 ALL_POLICIES = repro.policy.available()
 
+#: The contract parameterization: every registered policy, plus the
+#: sharded policy under its process executor (same registry name, worker
+#: processes instead of shard-cell threads — the contract must hold
+#: identically under either backend).  ``make_policy`` resolves the
+#: ``+process`` suffix.
+CONTRACT_POLICIES = tuple(ALL_POLICIES) + ("pollux-sharded+process",)
+
 #: Policies constrained to the single-job cloud scenario.
 SINGLE_JOB_POLICIES = {"orelastic"}
 
@@ -59,6 +66,9 @@ def run_host(host, cluster, policy, trace, config):
 
 def make_policy(name: str, cluster: ClusterSpec, seed: int = 0) -> Policy:
     kwargs = {"cluster": cluster, "seed": seed}
+    if name.startswith("pollux-sharded+"):
+        name, execution = name.split("+", 1)
+        kwargs["execution"] = execution
     if name in ("pollux", "pollux-sharded"):
         kwargs["config"] = PolluxSchedConfig(
             ga=GAConfig(population_size=8, generations=4)
@@ -101,14 +111,14 @@ def cluster() -> ClusterSpec:
 
 
 class TestRegistry:
-    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @pytest.mark.parametrize("name", CONTRACT_POLICIES)
     def test_constructible_with_uniform_kwargs(self, name, cluster):
         policy = make_policy(name, cluster)
         assert isinstance(policy, Policy)
         assert isinstance(policy.capabilities, PolicyCapabilities)
         assert policy.name
 
-    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @pytest.mark.parametrize("name", CONTRACT_POLICIES)
     def test_seed_threaded_uniformly(self, name, cluster):
         # Every policy — including deterministic ones — records the seed,
         # so sweep scripts never silently drop the determinism knob.
@@ -161,14 +171,14 @@ class TestRegistry:
 
 
 class TestScheduleContract:
-    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @pytest.mark.parametrize("name", CONTRACT_POLICIES)
     def test_empty_cluster_state(self, name, cluster):
         policy = make_policy(name, cluster)
         decision = policy.schedule(0.0, ClusterState(cluster=cluster))
         assert isinstance(decision, ScheduleDecision)
         assert not decision.allocations
 
-    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @pytest.mark.parametrize("name", CONTRACT_POLICIES)
     def test_allocations_only_for_active_jobs(self, name, cluster):
         policy = make_policy(name, cluster)
         count = 1 if name in SINGLE_JOB_POLICIES else 3
@@ -181,7 +191,7 @@ class TestScheduleContract:
             assert alloc.shape == (cluster.num_nodes,)
             assert (alloc >= 0).all()
 
-    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @pytest.mark.parametrize("name", CONTRACT_POLICIES)
     def test_allocation_matrix_feasible(self, name, cluster):
         policy = make_policy(name, cluster)
         count = 1 if name in SINGLE_JOB_POLICIES else 6
@@ -193,7 +203,7 @@ class TestScheduleContract:
             )
             assert not validate_allocation_matrix(matrix, cluster)
 
-    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @pytest.mark.parametrize("name", CONTRACT_POLICIES)
     def test_schedule_does_not_mutate_snapshots(self, name, cluster):
         policy = make_policy(name, cluster)
         count = 1 if name in SINGLE_JOB_POLICIES else 2
@@ -205,7 +215,7 @@ class TestScheduleContract:
             np.testing.assert_array_equal(snap.allocation, alloc)
             assert snap.batch_size == batch
 
-    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @pytest.mark.parametrize("name", CONTRACT_POLICIES)
     def test_decision_mappings_read_only(self, name, cluster):
         policy = make_policy(name, cluster)
         count = 1 if name in SINGLE_JOB_POLICIES else 2
@@ -266,7 +276,7 @@ def _trace(cluster, count=3, gpus=2):
 
 class TestHostsHonorCapabilities:
     @pytest.mark.parametrize("host", HOSTS)
-    @pytest.mark.parametrize("name", ALL_POLICIES)
+    @pytest.mark.parametrize("name", CONTRACT_POLICIES)
     def test_agent_profiling_matches_needs_agent(self, name, host):
         cluster = ClusterSpec.homogeneous(2, 4)
         policy = make_policy(name, cluster)
