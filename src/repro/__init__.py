@@ -14,9 +14,19 @@ Public API overview:
 - :mod:`repro.policy` — the Policy API v1: Pollux + Tiresias /
   Optimus+Oracle / Or et al. behind one event-driven interface, plus the
   string-keyed registry (``repro.policy.create("pollux", ...)``).
+- :mod:`repro.host` — the wall-clock host: ``PolicyHost`` drives any
+  registered policy in real time over live (``ThreadedBackend``) or
+  replayed (``ReplayBackend``) cluster state.
+- :mod:`repro.shard` — cell-partitioned sharded scheduling
+  (``pollux-sharded``) for 10k-GPU / 5k-job scale.
+- :mod:`repro.service` — scheduling-as-a-service: the multi-tenant HTTP
+  front-end + Prometheus ``/metrics`` on top of a running host.
 - :mod:`repro.schedulers` — deprecated shims over :mod:`repro.policy`.
 - :mod:`repro.training` — numpy data-parallel training substrate with real
   gradient-noise-scale measurement and AdaScale SGD.
+
+Start at ``README.md`` (overview, quickstart, headline numbers); the
+operator guide for running the service is ``docs/operating.md``.
 """
 
 from . import cluster, core, policy, schedulers, sim, workload

@@ -77,6 +77,15 @@ the standalone checker.  A finite ``compression`` paces the replay
 against the wall clock (e.g. ``compression=3600`` replays an hour of
 trace per second) — useful for watching a policy behave in "fast real
 time" before pointing it at live jobs.
+
+Serving the host
+----------------
+
+:mod:`repro.service` puts a multi-tenant HTTP front-end (submit/status/
+cancel with quotas) and a Prometheus ``/metrics`` page on top of a
+running ``PolicyHost`` — see ``docs/operating.md`` for the operator
+guide (start/drain/stop, backend choice, time compression, the full
+metrics reference) and ``README.md`` for the repo overview.
 """
 
 from .backend import ClusterBackend

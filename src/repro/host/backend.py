@@ -118,6 +118,27 @@ class ClusterBackend(Protocol):
         """
         ...
 
+    # -- service hooks --------------------------------------------------
+
+    def find_job(self, name: str) -> Optional[object]:
+        """Look up a job by name: a live SimJob-shaped object while the
+        job is active, a :class:`~repro.sim.metrics.JobRecord` once it
+        completed, or ``None`` if the backend has never seen the name.
+        Callers that need a consistent view hold :meth:`dispatch_lock`.
+        """
+        ...
+
+    def cancel(self, name: str) -> bool:
+        """Cancel a job by name (the service's ``DELETE /v1/jobs`` path).
+
+        An active job is finished immediately at the current host time
+        (allocation zeroed, a ``completed`` lifecycle event delivered to
+        the policy through the normal event path); a queued-but-unadmitted
+        submission is silently dropped.  Returns False when the name is
+        unknown or the job already completed.
+        """
+        ...
+
     # -- mechanism ------------------------------------------------------
 
     def dispatch_lock(self) -> AbstractContextManager:

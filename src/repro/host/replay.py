@@ -23,6 +23,8 @@ import time
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+import numpy as np
+
 from ..cluster.spec import ClusterSpec, NodeSpec
 from ..sim.engine import ClusterEngine
 from ..sim.metrics import JobRecord, SimResult, TimelineSample
@@ -108,6 +110,38 @@ class ReplayBackend:
 
     def drained(self) -> bool:
         return not self.engine._active and not self.engine.pending_submissions()
+
+    # -- service hooks --------------------------------------------------
+
+    def find_job(self, name: str):
+        """Any trace job by name (live SimJob state, admitted or not)."""
+        for job in self.engine.jobs:
+            if job.name == name:
+                return job
+        return None
+
+    def cancel(self, name: str) -> bool:
+        """Cancel an active job (service ``DELETE`` path).
+
+        Finishes the job at the current engine time, zeroes its
+        allocation, and fires the ``completed`` lifecycle event through
+        the engine's event sink — the same path a natural completion
+        takes.  Not-yet-admitted trace jobs cannot be cancelled (the
+        replay trace is the recorded ground truth); note that any cancel
+        perturbs the decision stream, so replays being digest-compared to
+        a simulator run must not cancel.
+        """
+        eng = self.engine
+        for job in eng._active:
+            if job.name == name:
+                job.finish_time = eng.now
+                job.allocation = np.zeros_like(job.allocation)
+                eng._active.remove(job)
+                eng._alloc_version += 1
+                if eng.event_sink is not None:
+                    eng.event_sink("completed", eng.now, job)
+                return True
+        return False
 
     # -- time -----------------------------------------------------------
 

@@ -327,6 +327,32 @@ class PolicyHost:
         return self.result
 
     # ------------------------------------------------------------------
+    # Service hooks (the HTTP front-end in repro.service rides these)
+    # ------------------------------------------------------------------
+
+    def find_job(self, name: str):
+        """Job lookup by name, under the backend's dispatch lock.
+
+        Returns a live SimJob-shaped object for an active job, a
+        :class:`~repro.sim.metrics.JobRecord` for a completed one (where
+        the backend keeps records), or ``None``.  Safe to call from any
+        thread while the host is dispatching.
+        """
+        with self.backend.dispatch_lock():
+            return self.backend.find_job(name)
+
+    def cancel_job(self, name: str) -> bool:
+        """Cancel a job by name, under the backend's dispatch lock.
+
+        Routes to :meth:`~repro.host.backend.ClusterBackend.cancel`: an
+        active job is completed immediately and its ``completed``
+        lifecycle event reaches the policy through the normal event path.
+        Returns False for unknown or already-completed jobs.
+        """
+        with self.backend.dispatch_lock():
+            return self.backend.cancel(name)
+
+    # ------------------------------------------------------------------
     # Service lifecycle
     # ------------------------------------------------------------------
 

@@ -272,6 +272,45 @@ class ThreadedBackend:
         cfg = self.config
         observe_job(job, rng, cfg.profile_noise, cfg.gns_noise)
 
+    # -- service hooks --------------------------------------------------
+
+    def find_job(self, name: str):
+        """Active SimJob, completed JobRecord, or None (service lookup)."""
+        with self._lock:
+            for job in self._active:
+                if job.name == name:
+                    return job
+            for record in self._completed:
+                if record.name == name:
+                    return record
+            return None
+
+    def cancel(self, name: str) -> bool:
+        """Cancel an active or queued job (service ``DELETE`` path).
+
+        An active job is finished at the current host time: its worker
+        thread exits on the next quantum (it checks ``finish_time`` under
+        the lock), the final :class:`JobRecord` lands in the completed
+        history, and a ``completed`` lifecycle event reaches the policy
+        through the normal event queue.  A queued spec is dropped before
+        admission (no events — the policy never saw it).
+        """
+        with self._lock:
+            for i, spec in enumerate(self._pending):
+                if spec.name == name:
+                    del self._pending[i]
+                    return True
+            now = self.now()
+            for job in self._active:
+                if job.name == name:
+                    job.finish_time = now
+                    job.allocation = np.zeros_like(job.allocation)
+                    self._active.remove(job)
+                    self._completed.append(JobRecord.from_job(job))
+                    self._events.append(("completed", now, job))
+                    return True
+            return False
+
     # -- time -----------------------------------------------------------
 
     def idle_fast_forward(self) -> float:

@@ -1,0 +1,176 @@
+"""Multi-tenant accounting: namespaces, GPU-equivalent quotas, fair admission.
+
+This is the deterministic layer the service puts *above* the Policy API
+(the third seam of the Blox-style toolkit: policy / mechanism / service).
+It never touches policy decision streams — tenancy decides only *whether*
+and *in what order* submissions reach the backend, so host-agreement
+digests cannot move.
+
+Quotas are measured in **GPU-equivalents**, not raw GPU counts, because a
+mixed fleet's devices are not interchangeable (Gavel's heterogeneity
+lesson): one A100 at compute speed 3.2 is 3.2 reference-T4 equivalents.
+Two series exist per tenant:
+
+- *demand* — the admission-time charge: each live (queued or submitted,
+  not yet finished) job charges its requested GPU count in reference
+  units.  A job has no placement until the policy allocates it, so demand
+  is deliberately type-agnostic; it is what quotas are enforced against,
+  which keeps admission deterministic and independent of policy decisions.
+- *allocated* — the live, type-aware usage: the tenant's actual
+  allocations dotted with per-node compute speeds.  Reported by
+  ``GET /v1/tenants/{t}`` and exported to Prometheus; on a mixed fleet it
+  shows what the quota's raw-count cousin would hide (4 GPUs of A100 are
+  12.8 equivalents).
+
+Admission order across tenants is **round-robin**: each tenant owns a FIFO
+queue and :class:`AdmissionQueue` pops one job per tenant in rotation, so
+a burst from one tenant cannot starve another's queued submissions.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..workload.trace import JobSpec
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "JobEntry",
+    "TenantAccount",
+    "AdmissionQueue",
+    "valid_tenant_name",
+]
+
+#: Tenant used when a request carries no ``X-Tenant`` header.
+DEFAULT_TENANT = "default"
+
+#: Tenant and job names must be URL-path-safe.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+def valid_tenant_name(name: str) -> bool:
+    """Whether ``name`` is a legal tenant (or job) name segment."""
+    return bool(_NAME_RE.match(name))
+
+
+@dataclass
+class JobEntry:
+    """One service-submitted job, from POST to terminal state.
+
+    ``job_id`` is the tenant-namespaced identity (``tenant/name``) and is
+    also the backend job name, so two tenants can both submit ``train-1``
+    without colliding anywhere downstream.  ``state`` walks
+    ``queued -> submitted -> complete`` (or ``cancelled`` from either
+    live state); ``demand_eq`` is the admission charge released when the
+    entry reaches a terminal state.
+    """
+
+    job_id: str
+    tenant: str
+    spec: JobSpec
+    demand_eq: float
+    created_at: float
+    state: str = "queued"
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("complete", "cancelled")
+
+
+@dataclass
+class TenantAccount:
+    """Accounting for one tenant: quota, live charge, counters.
+
+    ``quota_eq`` is the admission ceiling in reference GPU-equivalents
+    (``inf`` = unlimited).  ``demand_eq`` is the sum of live entries'
+    charges; admission of a job with demand ``d`` requires
+    ``demand_eq + d <= quota_eq``.
+    """
+
+    name: str
+    quota_eq: float = math.inf
+    demand_eq: float = 0.0
+    submitted_total: int = 0
+    admitted_total: int = 0
+    rejected_total: int = 0
+    cancelled_total: int = 0
+    completed_total: int = 0
+    next_job_seq: int = 0
+    #: Live (non-terminal) entries, newest last.
+    entries: List[JobEntry] = field(default_factory=list)
+
+    def can_admit(self, demand_eq: float) -> bool:
+        return self.demand_eq + demand_eq <= self.quota_eq
+
+    def charge(self, entry: JobEntry) -> None:
+        self.demand_eq += entry.demand_eq
+        self.entries.append(entry)
+        self.submitted_total += 1
+
+    def release(self, entry: JobEntry) -> None:
+        """Release a terminal entry's admission charge (idempotence is the
+        caller's job: call exactly once, when the entry turns terminal)."""
+        self.demand_eq = max(self.demand_eq - entry.demand_eq, 0.0)
+        if entry in self.entries:
+            self.entries.remove(entry)
+        if entry.state == "cancelled":
+            self.cancelled_total += 1
+        elif entry.state == "complete":
+            self.completed_total += 1
+
+
+class AdmissionQueue:
+    """Fair round-robin admission across tenants.
+
+    Each tenant has a FIFO queue; :meth:`pop` serves tenants in a rotating
+    order, one job per turn, skipping tenants with empty queues.  The
+    rotation is deterministic: tenants enter it in first-push order and
+    the cursor advances one tenant per pop, so interleaving depends only
+    on the push sequence (no RNG, no timestamps).
+    """
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[JobEntry]] = {}
+        self._rotation: List[str] = []
+        self._cursor = 0
+
+    def push(self, entry: JobEntry) -> None:
+        queue = self._queues.get(entry.tenant)
+        if queue is None:
+            queue = deque()
+            self._queues[entry.tenant] = queue
+            self._rotation.append(entry.tenant)
+        queue.append(entry)
+
+    def pop(self) -> Optional[JobEntry]:
+        """Next entry in round-robin order, or None when all queues are
+        empty.  Entries cancelled while queued are skipped (and dropped)."""
+        if not self._rotation:
+            return None
+        for _ in range(len(self._rotation)):
+            tenant = self._rotation[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._rotation)
+            queue = self._queues[tenant]
+            while queue:
+                entry = queue.popleft()
+                if entry.state == "queued":
+                    return entry
+            # Empty queue: leave the tenant in rotation (cheap, and keeps
+            # the cursor arithmetic simple); its turn is just skipped.
+        return None
+
+    def remove(self, entry: JobEntry) -> bool:
+        """Drop a queued entry (cancellation before admission)."""
+        queue = self._queues.get(entry.tenant)
+        if queue is not None and entry in queue:
+            queue.remove(entry)
+            return True
+        return False
+
+    def pending(self, tenant: str) -> int:
+        queue = self._queues.get(tenant)
+        return len(queue) if queue is not None else 0

@@ -58,3 +58,11 @@ def test_live_scheduler_runs():
 def test_live_scheduler_replay_agrees():
     out = run_example("live_scheduler.py", "--replay", "--jobs", "4")
     assert "bit-for-bit agreement" in out
+
+
+def test_service_client_runs():
+    out = run_example("service_client.py")
+    assert "research over quota: 429" in out
+    assert "cross-tenant read: 404" in out
+    assert "complete: jct=" in out
+    assert "service stopped" in out

@@ -1,0 +1,520 @@
+"""Tests for the multi-tenant scheduling service (repro.service).
+
+Three layers under test: the tenant accounting primitives (quota math,
+round-robin fairness), the transport-free :class:`SchedulerService`
+operations (admission, isolation, cancel, reconciliation), and the stdlib
+HTTP stack end-to-end (status codes, error envelopes, the Prometheus
+exposition page).  The load-bearing guarantee rides at the bottom:
+fronting a PolicyHost with the service must not perturb the policy
+decision stream, so a service-fronted replay run reproduces the
+simulator's decision digest bit-for-bit even while reads hammer the API.
+"""
+
+import json
+import math
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.policy
+from repro.cluster import ClusterSpec
+from repro.host import PolicyHost, ReplayBackend, ThreadedBackend, ThreadedConfig
+from repro.service import (
+    AdmissionQueue,
+    JobEntry,
+    SchedulerService,
+    ServiceError,
+    ServiceServer,
+    TenantAccount,
+    render_metrics,
+    valid_tenant_name,
+)
+from repro.sim import SimConfig, Simulator, decision_digest
+from repro.workload import MODEL_ZOO, JobSpec, TraceConfig, generate_trace
+
+
+def quick_policy(name: str, cluster: ClusterSpec, **kwargs):
+    return repro.policy.create(name, cluster=cluster, seed=0, **kwargs)
+
+
+def fast_threaded(cluster, **kwargs):
+    defaults = dict(time_scale=2400.0, quantum_seconds=0.01)
+    defaults.update(kwargs)
+    return ThreadedBackend(cluster, ThreadedConfig(**defaults))
+
+
+def make_service(cluster=None, policy="tiresias", **service_kwargs):
+    """A started host+service on a fast threaded backend."""
+    cluster = cluster or ClusterSpec.homogeneous(2, 4)
+    backend = fast_threaded(cluster)
+    host = PolicyHost(quick_policy(policy, cluster), backend)
+    host.start()
+    return SchedulerService(host, **service_kwargs), host
+
+
+def spec(name, model="neumf-movielens", t=0.0, gpus=1, bs=256):
+    return JobSpec(name, MODEL_ZOO[model], t, gpus, bs)
+
+
+# ----------------------------------------------------------------------
+# Tenant primitives
+# ----------------------------------------------------------------------
+
+
+class TestTenantPrimitives:
+    def test_tenant_name_validation(self):
+        assert valid_tenant_name("teamA")
+        assert valid_tenant_name("a-b_c.d")
+        assert not valid_tenant_name("")
+        assert not valid_tenant_name("-leading")
+        assert not valid_tenant_name("has/slash")
+        assert not valid_tenant_name("x" * 65)
+
+    def test_quota_charge_release(self):
+        account = TenantAccount("t", quota_eq=4.0)
+        entry = JobEntry("t/a", "t", spec("t/a", gpus=3), 3.0, 0.0)
+        assert account.can_admit(3.0)
+        account.charge(entry)
+        assert account.demand_eq == 3.0
+        assert not account.can_admit(2.0)
+        assert account.can_admit(1.0)
+        entry.state = "complete"
+        account.release(entry)
+        assert account.demand_eq == 0.0
+        assert account.completed_total == 1
+        assert account.entries == []
+
+    def test_unlimited_quota_by_default(self):
+        account = TenantAccount("t")
+        assert account.quota_eq == math.inf
+        assert account.can_admit(1e9)
+
+    def test_round_robin_interleaves_tenants(self):
+        queue = AdmissionQueue()
+        for i in range(3):
+            queue.push(JobEntry(f"a/{i}", "a", spec(f"a/{i}"), 1.0, 0.0))
+        for i in range(2):
+            queue.push(JobEntry(f"b/{i}", "b", spec(f"b/{i}"), 1.0, 0.0))
+        order = []
+        while True:
+            entry = queue.pop()
+            if entry is None:
+                break
+            order.append(entry.job_id)
+        # One per tenant per turn: a burst from "a" cannot starve "b".
+        assert order == ["a/0", "b/0", "a/1", "b/1", "a/2"]
+
+    def test_cancelled_queued_entries_are_skipped(self):
+        queue = AdmissionQueue()
+        first = JobEntry("a/0", "a", spec("a/0"), 1.0, 0.0)
+        second = JobEntry("a/1", "a", spec("a/1"), 1.0, 0.0)
+        queue.push(first)
+        queue.push(second)
+        first.state = "cancelled"
+        assert queue.pop() is second
+        assert queue.pop() is None
+
+
+# ----------------------------------------------------------------------
+# SchedulerService operations (no sockets)
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerService:
+    def test_submit_status_complete_lifecycle(self):
+        service, host = make_service()
+        try:
+            status = service.submit(
+                "teamA", {"model": "neumf-movielens", "num_gpus": 2}
+            )
+            assert status["job_id"] == "teamA/job-00000"
+            assert status["state"] not in ("complete", "cancelled")
+            result = host.drain(timeout=120.0)
+            assert result is not None
+            assert service.job_status("teamA", "teamA/job-00000")["state"] == (
+                "complete"
+            )
+            usage = service.tenant_usage("teamA")
+            assert usage["completed_total"] == 1
+            assert usage["demand_gpu_equivalents"] == 0.0
+        finally:
+            host.stop()
+
+    def test_submit_validation_errors(self):
+        service, host = make_service()
+        try:
+            with pytest.raises(ServiceError) as err:
+                service.submit("t", ["not", "an", "object"])
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                service.submit("t", {"model": "not-a-model"})
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                service.submit("t", {"model": "neumf-movielens", "num_gpus": 0})
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                service.submit("t", {"model": "neumf-movielens", "num_gpus": 999})
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                service.submit("t", {"model": "neumf-movielens", "name": "a/b"})
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                service.submit("bad tenant!", {"model": "neumf-movielens"})
+            assert err.value.status == 400
+        finally:
+            host.stop()
+
+    def test_quota_enforced_with_retry_after(self):
+        service, host = make_service(quotas={"small": 2.0})
+        try:
+            service.submit("small", {"model": "neumf-movielens", "num_gpus": 2})
+            with pytest.raises(ServiceError) as err:
+                service.submit("small", {"model": "neumf-movielens", "num_gpus": 1})
+            assert err.value.status == 429
+            assert err.value.retry_after == host.config.scheduling_interval
+            assert service.tenant_usage("small")["rejected_total"] == 1
+        finally:
+            host.stop()
+
+    def test_duplicate_name_conflicts(self):
+        service, host = make_service()
+        try:
+            service.submit("t", {"model": "neumf-movielens", "name": "train"})
+            with pytest.raises(ServiceError) as err:
+                service.submit("t", {"model": "neumf-movielens", "name": "train"})
+            assert err.value.status == 409
+        finally:
+            host.stop()
+
+    def test_tenant_isolation_status_and_cancel(self):
+        service, host = make_service(observer_tenant=None)
+        try:
+            job_id = service.submit("teamA", {"model": "neumf-movielens"})["job_id"]
+            with pytest.raises(ServiceError) as err:
+                service.job_status("teamB", job_id)
+            assert err.value.status == 404
+            with pytest.raises(ServiceError) as err:
+                service.cancel("teamB", job_id)
+            assert err.value.status == 404
+            # The owner still sees it.
+            assert service.job_status("teamA", job_id)["tenant"] == "teamA"
+        finally:
+            host.stop()
+
+    def test_cancel_live_job_releases_quota(self):
+        service, host = make_service(quotas={"t": 2.0})
+        try:
+            job_id = service.submit(
+                "t", {"model": "resnet18-cifar10", "num_gpus": 2}
+            )["job_id"]
+            cancelled = service.cancel("t", job_id)
+            assert cancelled["state"] == "cancelled"
+            usage = service.tenant_usage("t")
+            assert usage["demand_gpu_equivalents"] == 0.0
+            assert usage["cancelled_total"] == 1
+            with pytest.raises(ServiceError) as err:
+                service.cancel("t", job_id)
+            assert err.value.status == 409
+            # Quota is free again.
+            service.submit("t", {"model": "neumf-movielens", "num_gpus": 2})
+        finally:
+            host.stop()
+
+    def test_unknown_job_404(self):
+        service, host = make_service(observer_tenant=None)
+        try:
+            with pytest.raises(ServiceError) as err:
+                service.job_status("t", "t/nope")
+            assert err.value.status == 404
+        finally:
+            host.stop()
+
+    def test_concurrent_submits_land_exactly_once(self):
+        service, host = make_service()
+        threads_n, per_thread = 8, 8
+        try:
+            def submitter(worker):
+                for i in range(per_thread):
+                    service.submit(
+                        f"team-{worker}",
+                        {"model": "neumf-movielens", "name": f"job-{i:03d}"},
+                    )
+
+            threads = [
+                threading.Thread(target=submitter, args=(w,))
+                for w in range(threads_n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            result = host.drain(timeout=120.0)
+            assert result is not None
+            names = [r.name for r in result.records]
+            assert len(names) == threads_n * per_thread
+            assert len(set(names)) == threads_n * per_thread
+            total_completed = sum(
+                service.tenant_usage(f"team-{w}")["completed_total"]
+                for w in range(threads_n)
+            )
+            assert total_completed == threads_n * per_thread
+        finally:
+            host.stop()
+
+    def test_healthz_shape(self):
+        service, host = make_service()
+        try:
+            health = service.healthz()
+            assert health["status"] == "ok"
+            assert health["running"] is True
+            assert health["policy"] == "tiresias"
+            assert health["backend"] == "ThreadedBackend"
+        finally:
+            host.stop()
+
+    def test_replay_backend_rejects_submissions(self):
+        cluster = ClusterSpec.homogeneous(2, 4)
+        trace = generate_trace(
+            TraceConfig(num_jobs=4, duration_hours=0.5, seed=1, max_gpus=4)
+        )
+        config = SimConfig(seed=1001, max_hours=30.0)
+        host = PolicyHost(
+            quick_policy("tiresias", cluster), ReplayBackend(cluster, trace, config)
+        )
+        service = SchedulerService(host)
+        with pytest.raises(ServiceError) as err:
+            service.submit("t", {"model": "neumf-movielens"})
+        assert err.value.status == 503
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (?:[+-]?(?:\d+\.?\d*(?:e[+-]?\d+)?|Inf|NaN))$",
+    re.IGNORECASE,
+)
+
+
+def assert_valid_exposition(page: str):
+    """Every line is a comment or a sample, and every sample's metric
+    family was declared with # TYPE before its first sample."""
+    typed = set()
+    samples = 0
+    for line in page.strip().split("\n"):
+        if line.startswith("# TYPE "):
+            typed.add(line.split()[2])
+            continue
+        if line.startswith("#"):
+            continue
+        assert _SAMPLE_RE.match(line), f"bad exposition line: {line!r}"
+        name = re.split(r"[{ ]", line, 1)[0]
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in typed or family in typed, f"undeclared family: {name}"
+        samples += 1
+    return samples
+
+
+class TestMetricsExport:
+    def test_metrics_page_is_valid_exposition(self):
+        service, host = make_service(quotas={"teamA": 8.0})
+        try:
+            service.submit("teamA", {"model": "neumf-movielens", "num_gpus": 2})
+            service.observe_http("POST", 201)
+            page = render_metrics(service)
+            samples = assert_valid_exposition(page)
+            assert samples > 20
+            assert 'scheduler_tenant_quota_gpu_equivalents{tenant="teamA"} 8' in page
+            assert 'scheduler_http_requests_total{method="POST",code="201"} 1' in page
+            assert "scheduler_dispatch_latency_seconds_bucket" in page
+        finally:
+            host.stop()
+
+    def test_histogram_counts_rounds_incrementally(self):
+        service, host = make_service()
+        try:
+            host.drain(timeout=60.0)
+            page = render_metrics(service)
+            rounds = host.metrics.summary()["rounds"]
+            assert f"scheduler_dispatch_latency_seconds_count {rounds}" in page
+            # A second scrape must not double-count.
+            page = render_metrics(service)
+            assert f"scheduler_dispatch_latency_seconds_count {rounds}" in page
+        finally:
+            host.stop()
+
+
+# ----------------------------------------------------------------------
+# HTTP stack end-to-end
+# ----------------------------------------------------------------------
+
+
+def http(url, method="GET", body=None, tenant=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if tenant:
+        req.add_header("X-Tenant", tenant)
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.read().decode(), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode(), dict(exc.headers)
+
+
+@pytest.fixture()
+def served():
+    service, host = make_service(quotas={"capped": 1.0})
+    server = ServiceServer(service).start()
+    try:
+        yield server.url
+    finally:
+        server.close()
+        host.stop()
+
+
+class TestHTTPStack:
+    def test_submit_status_cancel_over_http(self, served):
+        status, body, _ = http(
+            f"{served}/v1/jobs",
+            "POST",
+            {"model": "neumf-movielens", "num_gpus": 1, "name": "train"},
+            tenant="teamA",
+        )
+        assert status == 201
+        job_id = json.loads(body)["job_id"]
+        assert job_id == "teamA/train"
+        status, body, _ = http(f"{served}/v1/jobs/{job_id}", tenant="teamA")
+        assert status == 200
+        status, body, _ = http(f"{served}/v1/jobs/{job_id}", "DELETE", tenant="teamA")
+        assert status == 200
+        assert json.loads(body)["state"] == "cancelled"
+
+    def test_malformed_json_is_400(self, served):
+        req = urllib.request.Request(
+            f"{served}/v1/jobs", data=b"{oops", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+        assert "JSON" in json.loads(err.value.read())["error"]
+
+    def test_empty_body_is_400(self, served):
+        status, body, _ = http(f"{served}/v1/jobs", "POST")
+        assert status == 400
+
+    def test_over_quota_is_429_with_retry_after(self, served):
+        status, _, _ = http(
+            f"{served}/v1/jobs",
+            "POST",
+            {"model": "neumf-movielens"},
+            tenant="capped",
+        )
+        assert status == 201
+        status, body, headers = http(
+            f"{served}/v1/jobs",
+            "POST",
+            {"model": "neumf-movielens"},
+            tenant="capped",
+        )
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        assert "quota" in json.loads(body)["error"]
+
+    def test_cross_tenant_get_is_404(self, served):
+        status, _, _ = http(
+            f"{served}/v1/jobs",
+            "POST",
+            {"model": "neumf-movielens", "name": "secret"},
+            tenant="teamA",
+        )
+        assert status == 201
+        status, _, _ = http(f"{served}/v1/jobs/teamA/secret", tenant="teamB")
+        assert status == 404
+
+    def test_unknown_routes_are_404(self, served):
+        for method, path in [
+            ("GET", "/nope"),
+            ("GET", "/v1/jobs"),
+            ("DELETE", "/v1/tenants/t"),
+            ("POST", "/healthz"),
+        ]:
+            status, _, _ = http(f"{served}{path}", method)
+            assert status == 404, f"{method} {path}"
+
+    def test_healthz_and_tenants_over_http(self, served):
+        status, body, _ = http(f"{served}/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        status, body, _ = http(f"{served}/v1/tenants/teamA")
+        assert status == 200
+        assert json.loads(body)["tenant"] == "teamA"
+
+    def test_metrics_scrape_parses(self, served):
+        http(
+            f"{served}/v1/jobs",
+            "POST",
+            {"model": "neumf-movielens"},
+            tenant="teamA",
+        )
+        status, body, headers = http(f"{served}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        samples = assert_valid_exposition(body)
+        assert samples > 20
+        assert 'scheduler_http_requests_total{method="POST",code="201"} 1' in body
+
+
+# ----------------------------------------------------------------------
+# Host agreement: the service front-end must not move decision streams
+# ----------------------------------------------------------------------
+
+
+class TestServiceAgreement:
+    def test_service_fronted_replay_matches_simulator(self):
+        cluster = ClusterSpec.homogeneous(2, 4)
+        trace = generate_trace(
+            TraceConfig(
+                num_jobs=6,
+                duration_hours=0.5,
+                seed=1,
+                max_gpus=cluster.total_gpus,
+                gpus_per_node=cluster.max_gpus_per_node,
+            )
+        )
+        config = SimConfig(seed=1001, max_hours=30.0)
+        sim_digest = decision_digest(
+            Simulator(cluster, quick_policy("tiresias", cluster), trace, config).run()
+        )
+        host = PolicyHost(
+            quick_policy("tiresias", cluster), ReplayBackend(cluster, trace, config)
+        )
+        service = SchedulerService(host)
+        stop_reading = threading.Event()
+        reads = {"count": 0}
+
+        def reader():
+            # Hammer every read path while the replay run executes.
+            probe = trace[0].name
+            while not stop_reading.is_set():
+                service.healthz()
+                render_metrics(service)
+                service.tenant_usage("default")
+                try:
+                    service.job_status("default", probe)
+                except ServiceError:
+                    pass  # before submission / after completion
+                reads["count"] += 1
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        host_digest = decision_digest(host.run())
+        stop_reading.set()
+        thread.join(timeout=5.0)
+        assert reads["count"] > 0
+        assert host_digest == sim_digest

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fail if any relative markdown link points at a missing file.
+
+Scans the repo's user-facing markdown (README.md and docs/) for inline
+``[text](target)`` links, skips absolute URLs and pure in-page anchors,
+and resolves each remaining target against the linking file's directory
+(dropping any ``#fragment``).  Exit code 1 lists every broken link —
+wired into the CI lint job so docs cannot rot silently.
+
+Run:  python tools/check_markdown_links.py [files-or-dirs ...]
+      (no arguments: README.md + docs/)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links, excluding images' alt brackets' inner text.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown(paths: list[Path]):
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.suffix == ".md":
+            yield path
+
+
+def check_file(md_file: Path) -> list[str]:
+    errors = []
+    text = md_file.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (md_file.parent / relative).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(
+                f"{md_file.relative_to(REPO)}:{line}: broken link -> {target}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        roots = [Path(arg).resolve() for arg in argv]
+    else:
+        roots = [REPO / "README.md", REPO / "docs"]
+    errors = []
+    checked = 0
+    for md_file in iter_markdown(roots):
+        checked += 1
+        errors.extend(check_file(md_file))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} markdown file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
